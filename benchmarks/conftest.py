@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark both (a) measures real wall-clock time of the operation
+via pytest-benchmark and (b) prints the paper-style virtual-time table
+once per module, so ``pytest benchmarks/ --benchmark-only -s`` regenerates
+the full evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a report block, visibly separated, once."""
+    printed = set()
+
+    def _show(key: str, text: str) -> None:
+        if key in printed:
+            return
+        printed.add(key)
+        print(f"\n{text}\n")
+
+    return _show

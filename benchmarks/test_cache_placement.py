@@ -1,0 +1,58 @@
+"""A8: cache placement and two-level hierarchy bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.placement import run_placement
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = run_placement(n_documents=40, n_users=5, n_events=1500)
+    return {r.deployment: r for r in rows}
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a8",
+        format_table(
+            ["deployment", "mean latency (ms)", "combined hit ratio",
+             "kernel reads", "cached MB"],
+            [
+                (r.deployment, r.mean_latency_ms, r.combined_hit_ratio,
+                 r.kernel_reads, r.bytes_cached / 1e6)
+                for r in results.values()
+            ],
+            title="A8. Cache placement comparison.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # App-level hits are local, so cheaper than server-colocated hits.
+    assert (
+        results["app-level"].mean_latency_ms
+        < results["server"].mean_latency_ms
+    )
+    # The shared server cache dedups content across users.
+    assert results["server"].bytes_cached < results["app-level"].bytes_cached
+    # §3 adoption collapses per-user fills to one full read per document.
+    assert (
+        results["server+adoption"].kernel_reads
+        < results["server"].kernel_reads / 2
+    )
+    # The hierarchy with adoption is the best configuration overall.
+    best = min(results.values(), key=lambda r: r.mean_latency_ms)
+    assert best.deployment == "both+adoption"
+
+
+@pytest.mark.parametrize("deployment", ["app-level", "server", "both+adoption"])
+def test_deployment_runtime(deployment, benchmark):
+    from repro.bench.placement import _run
+
+    benchmark.pedantic(
+        lambda: _run(deployment, n_documents=20, n_users=3, n_events=400,
+                     capacity=64 << 20, seed=19),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,49 @@
+"""A4: cacheability indicators / event forwarding bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cacheability import run_cacheability
+from repro.bench.harness import format_table
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = run_cacheability(n_documents=20, n_reads=800)
+    return {r.config: r for r in rows}
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a4",
+        format_table(
+            ["config", "hit ratio", "mean latency (ms)", "forwarded",
+             "audit complete"],
+            [
+                (r.config, r.hit_ratio, r.mean_latency_ms,
+                 r.forwarded_reads, r.audit_complete)
+                for r in results.values()
+            ],
+            title="A4. CACHEABLE_WITH_EVENTS vs. the WWW 'uncacheable' "
+            "alternative.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert results["with-events"].audit_complete
+    assert results["uncacheable"].hit_ratio == 0.0
+    assert (
+        results["with-events"].mean_latency_ms
+        < results["uncacheable"].mean_latency_ms
+    )
+
+
+@pytest.mark.parametrize("config", ["unrestricted", "with-events", "uncacheable"])
+def test_config_runtime(config, benchmark):
+    from repro.bench.cacheability import _run_config
+
+    benchmark.pedantic(
+        lambda: _run_config(config, n_documents=10, n_reads=200, seed=31),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""A9: collection-aware prefetch bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.collections import run_collections
+from repro.bench.harness import format_table
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = run_collections(n_collections=10, collection_size=6, n_bursts=100)
+    return {r.config: r for r in rows}
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a9",
+        format_table(
+            ["config", "mean read latency (ms)", "follow-read latency (ms)",
+             "hit ratio", "prefetch fills"],
+            [
+                (r.config, r.mean_read_latency_ms,
+                 r.mean_follow_latency_ms, r.hit_ratio, r.prefetch_fills)
+                for r in results.values()
+            ],
+            title="A9. Collection-aware prefetch.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plain = results["no-prefetch"]
+    prefetch = results["prefetch"]
+    # Prefetch accelerates the follow-on reads within a burst...
+    assert prefetch.mean_follow_latency_ms < plain.mean_follow_latency_ms / 3
+    # ...at the cost of speculative fills.
+    assert prefetch.prefetch_fills > 0
+    assert prefetch.hit_ratio >= plain.hit_ratio
+
+
+@pytest.mark.parametrize("prefetch", [False, True], ids=["plain", "prefetch"])
+def test_config_runtime(prefetch, benchmark):
+    from repro.bench.collections import _run
+
+    benchmark.pedantic(
+        lambda: _run(prefetch, n_collections=6, collection_size=5,
+                     n_bursts=50, burst=3, seed=29),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,60 @@
+"""A10: external-dependency policy placement (notifier vs. verifier) bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.external import run_external_placement
+from repro.bench.harness import format_table
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = run_external_placement(n_reads=400)
+    return {r.placement: r for r in rows}
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a10",
+        format_table(
+            ["placement", "staleness", "hit latency (ms)", "samples",
+             "invalidations pushed"],
+            [
+                (r.placement, r.stale_ratio, r.mean_hit_latency_ms,
+                 r.samples_taken, r.invalidations_pushed)
+                for r in results.values()
+            ],
+            title="A10. Same policy, different placement.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # The verifier placement is perfectly fresh but pays per-hit.
+    assert results["verifier"].stale_ratio == 0.0
+    assert (
+        results["verifier"].mean_hit_latency_ms
+        > results["notifier-fast"].mean_hit_latency_ms
+    )
+    # Notifier staleness scales with the polling period.
+    assert (
+        results["notifier-fast"].stale_ratio
+        < results["notifier-slow"].stale_ratio
+    )
+    # ... and so does the polling load, inversely.
+    assert (
+        results["notifier-fast"].samples_taken
+        > results["notifier-slow"].samples_taken
+    )
+
+
+@pytest.mark.parametrize("placement", ["verifier", "notifier-fast"])
+def test_placement_runtime(placement, benchmark):
+    from repro.bench.external import _run
+
+    benchmark.pedantic(
+        lambda: _run(placement, n_reads=200, read_gap_ms=120.0,
+                     change_interval_ms=2000.0, poll_period_ms=500.0,
+                     seed=37),
+        rounds=3,
+        iterations=1,
+    )

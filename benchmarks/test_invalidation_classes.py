@@ -1,0 +1,39 @@
+"""A5: four consistency classes bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.invalidation import run_invalidation_classes
+
+
+@pytest.fixture(scope="module")
+def steps():
+    return run_invalidation_classes()
+
+
+def test_report_and_shape(steps, show, benchmark):
+    show(
+        "a5",
+        format_table(
+            ["mutation", "class", "invalidated", "survived", "reasons"],
+            [
+                (s.step, s.consistency_class,
+                 ",".join(s.invalidated_users) or "-",
+                 ",".join(s.survived_users) or "-",
+                 ",".join(s.reasons) or "-")
+                for s in steps
+            ],
+            title="A5. Consistency classes end-to-end.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_class = {s.consistency_class: s for s in steps}
+    assert by_class["2 (personal add)"].invalidated_users == ("paul",)
+    assert by_class["3 (reorder)"].invalidated_users == ("eyal",)
+    assert by_class["1 (in-band)"].survived_users == ()
+
+
+def test_scenario_runtime(benchmark):
+    benchmark.pedantic(run_invalidation_classes, rounds=3, iterations=1)

@@ -1,0 +1,54 @@
+"""A1: notifier vs. verifier trade-off bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.notifier_verifier import run_notifier_verifier
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = run_notifier_verifier(n_documents=30, n_events=800)
+    return {r.config: r for r in rows}
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a1",
+        format_table(
+            ["config", "hit ratio", "hit latency (ms)", "notifier msgs",
+             "stale hits", "staleness"],
+            [
+                (r.config, r.hit_ratio, r.mean_hit_latency_ms,
+                 r.notifier_deliveries, r.stale_hits, r.staleness_ratio)
+                for r in results.values()
+            ],
+            title="A1. Notifier vs. verifier trade-off.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert results["both"].staleness_ratio < results["none"].staleness_ratio
+    assert (
+        results["verifiers-only"].mean_hit_latency_ms
+        > results["notifiers-only"].mean_hit_latency_ms
+    )
+    assert results["notifiers-only"].notifier_deliveries > 0
+
+
+@pytest.mark.parametrize("config_index", range(4),
+                         ids=["none", "notifiers", "verifiers", "both"])
+def test_config_runtime(config_index, benchmark):
+    from repro.bench.notifier_verifier import CONFIGURATIONS, _run_one
+
+    label, install, verify = CONFIGURATIONS[config_index]
+    benchmark.pedantic(
+        lambda: _run_one(
+            label, install, verify,
+            n_documents=20, n_events=300,
+            p_write=0.04, p_out_of_band=0.04, ttl_ms=30_000.0, seed=7,
+        ),
+        rounds=3,
+        iterations=1,
+    )

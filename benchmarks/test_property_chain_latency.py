@@ -1,0 +1,51 @@
+"""A7: latency vs. property-chain length bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.chains import run_chain_latency
+from repro.bench.harness import format_table
+from repro.placeless.kernel import PlacelessKernel
+from repro.properties.spellcheck import SpellingCorrectorProperty
+from repro.providers.memory import MemoryProvider
+from repro.workload.documents import generate_text
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_chain_latency(lengths=(0, 1, 2, 4, 6, 8))
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a7",
+        format_table(
+            ["chain length", "uncached (ms)", "cache hit (ms)", "speedup",
+             "replacement cost (ms)"],
+            [
+                (r.chain_length, r.uncached_ms, r.hit_ms, r.speedup,
+                 r.replacement_cost_ms)
+                for r in results
+            ],
+            title="A7. Latency vs. property-chain length.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    uncached = [r.uncached_ms for r in results]
+    assert uncached == sorted(uncached)
+    hits = [r.hit_ms for r in results]
+    assert max(hits) - min(hits) < 0.1
+    assert results[-1].speedup > results[0].speedup
+
+
+@pytest.mark.parametrize("length", [0, 4, 8])
+def test_transform_chain_wall_time(length, benchmark):
+    """Real CPU cost of executing a k-property read chain."""
+    kernel = PlacelessKernel()
+    user = kernel.create_user("u")
+    provider = MemoryProvider(kernel.ctx, generate_text(8000, seed=1))
+    reference = kernel.import_document(user, provider, "doc")
+    for index in range(length):
+        reference.attach(SpellingCorrectorProperty(name=f"spell-{index}"))
+    benchmark(lambda: kernel.read(reference).content)

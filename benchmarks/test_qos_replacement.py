@@ -1,0 +1,53 @@
+"""A6: QoS replacement-cost inflation bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.qos import run_qos
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = run_qos(n_documents=100, n_qos=10, n_reads=2000)
+    return {r.config: r for r in rows}
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a6",
+        format_table(
+            ["config", "qos accesses", "compliant", "compliance",
+             "qos mean latency (ms)"],
+            [
+                (r.config, r.qos_accesses, r.qos_compliant,
+                 r.qos_compliance, r.qos_mean_latency_ms)
+                for r in results.values()
+            ],
+            title="A6. QoS cost inflation under cache pressure.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert (
+        results["inflated"].qos_compliance
+        > results["no-inflation"].qos_compliance
+    )
+    assert (
+        results["inflated"].qos_mean_latency_ms
+        < results["no-inflation"].qos_mean_latency_ms
+    )
+
+
+@pytest.mark.parametrize("inflate", [False, True], ids=["flat", "inflated"])
+def test_qos_runtime(inflate, benchmark):
+    from repro.bench.qos import _run_config
+
+    benchmark.pedantic(
+        lambda: _run_config(
+            inflate, n_documents=50, n_qos=5, n_reads=600,
+            target_ms=5.0, capacity_fraction=0.08, seed=41,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,71 @@
+"""A2: replacement policy comparison bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.replacement import run_replacement
+
+POLICIES = ("gds", "gdsf", "gds-costblind", "lru", "lfu", "fifo", "size",
+            "random")
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = run_replacement(
+        policies=POLICIES, n_documents=100, n_reads=1500
+    )
+    return rows
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a2",
+        format_table(
+            ["policy", "hit ratio", "mean latency (ms)", "total latency (s)",
+             "evictions"],
+            [
+                (r.policy, r.hit_ratio, r.mean_latency_ms,
+                 r.total_latency_ms / 1000.0, r.evictions)
+                for r in results
+            ],
+            title="A2. Replacement policies, 10%-of-corpus cache "
+            "(sorted by total latency).",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_name = {r.policy: r for r in results}
+    best_cost_aware = min(
+        by_name["gds"].total_latency_ms, by_name["gdsf"].total_latency_ms
+    )
+    for baseline in ("lru", "fifo", "random"):
+        assert best_cost_aware < by_name[baseline].total_latency_ms
+
+
+@pytest.mark.parametrize("policy", ["gds", "lru"])
+def test_policy_runtime(policy, benchmark):
+    benchmark.pedantic(
+        lambda: run_replacement(
+            policies=(policy,), n_documents=50, n_reads=400
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_capacity_sweep_series(show, benchmark):
+    from repro.bench.replacement import format_capacity_sweep, run_capacity_sweep
+
+    sweep = run_capacity_sweep(
+        policies=("gds", "lru"), fractions=(0.05, 0.25),
+        n_documents=60, n_reads=600,
+    )
+    show("a2b", format_capacity_sweep(sweep))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for fraction, results in sweep.items():
+        by_name = {r.policy: r for r in results}
+        # Cost-aware GDS leads LRU on latency at every cache size.
+        assert (
+            by_name["gds"].mean_latency_ms <= by_name["lru"].mean_latency_ms
+        ), fraction

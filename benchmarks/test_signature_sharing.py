@@ -1,0 +1,44 @@
+"""A3: content-signature sharing bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.sharing import run_sharing
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_sharing(
+        fractions=(0.0, 0.25, 0.5, 0.75, 1.0), n_documents=12, n_users=16
+    )
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a3",
+        format_table(
+            ["personalized", "entries", "distinct contents", "logical MB",
+             "physical MB", "dedup factor"],
+            [
+                (f"{r.personalized_fraction:.0%}", r.n_entries,
+                 r.distinct_contents, r.logical_bytes / 1e6,
+                 r.physical_bytes / 1e6, r.dedup_factor)
+                for r in results
+            ],
+            title="A3. Content-signature sharing vs. personalization.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert results[0].dedup_factor == pytest.approx(16.0)
+    assert results[0].dedup_factor > results[-1].dedup_factor
+    assert all(r.dedup_factor >= 1.0 for r in results)
+
+
+def test_sharing_runtime(benchmark):
+    benchmark.pedantic(
+        lambda: run_sharing(fractions=(0.5,), n_documents=8, n_users=8),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,67 @@
+"""Table 1: document content access times (no cache / miss / hit).
+
+Regenerates the paper's only table.  Wall-clock numbers come from
+pytest-benchmark; the virtual-milliseconds table (the paper's metric) is
+printed once and its shape asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.table1 import format_table1, run_table1
+from repro.cache.manager import DocumentCache
+from repro.placeless.kernel import PlacelessKernel
+from repro.workload.documents import build_table1_documents
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table1(repeats=5)
+
+
+def test_report_table1(rows, show, benchmark):
+    show("table1", format_table1(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for row in rows:
+        assert row.hit_ms < row.no_cache_ms / 50
+        assert 0 <= row.miss_overhead_fraction < 0.05
+
+
+@pytest.fixture(scope="module")
+def world():
+    kernel = PlacelessKernel()
+    owner = kernel.create_user("eyal")
+    documents = build_table1_documents(kernel, owner, ttl_ms=3.6e6)
+    cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+    return kernel, documents, cache
+
+
+@pytest.mark.parametrize("doc_index", [0, 1, 2], ids=["parcweb", "www-large", "www-small"])
+def test_no_cache_read(world, doc_index, benchmark):
+    kernel, documents, _ = world
+    reference = documents[doc_index].reference
+    result = benchmark(lambda: kernel.read(reference).content)
+    assert len(result) == documents[doc_index].size_bytes
+
+
+@pytest.mark.parametrize("doc_index", [0, 1, 2], ids=["parcweb", "www-large", "www-small"])
+def test_cache_miss_read(world, doc_index, benchmark):
+    kernel, documents, cache = world
+    reference = documents[doc_index].reference
+
+    def cold_read():
+        cache.clear()
+        return cache.read(reference)
+
+    outcome = benchmark(cold_read)
+    assert not outcome.hit
+
+
+@pytest.mark.parametrize("doc_index", [0, 1, 2], ids=["parcweb", "www-large", "www-small"])
+def test_cache_hit_read(world, doc_index, benchmark):
+    kernel, documents, cache = world
+    reference = documents[doc_index].reference
+    cache.read(reference)  # warm
+    outcome = benchmark(lambda: cache.read(reference))
+    assert outcome.hit

@@ -1,0 +1,56 @@
+"""A11: write-through vs. write-back bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.writes import run_write_modes
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = run_write_modes(n_saves=40, saves_per_flush=5)
+    return {r.mode: r for r in rows}
+
+
+def test_report_and_shape(results, show, benchmark):
+    show(
+        "a11",
+        format_table(
+            ["mode", "mean save latency (ms)", "repo commits",
+             "reviewer staleness"],
+            [
+                (r.mode, r.mean_save_latency_ms, r.repository_commits,
+                 r.reviewer_staleness)
+                for r in results.values()
+            ],
+            title="A11. Write modes.",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    through = results["write-through"]
+    back = results["write-back"]
+    # Write-back saves are much cheaper and commit far less often...
+    assert back.mean_save_latency_ms < through.mean_save_latency_ms / 2
+    assert back.repository_commits < through.repository_commits / 2
+    # ...at the price of a visibility window; write-through has none.
+    assert through.reviewer_staleness == 0.0
+    assert back.reviewer_staleness > 0.5
+    # Write-path properties still observed every buffered save (via
+    # WRITE_FORWARDED), not just the flushes.
+    assert back.versions_observed >= back.saves
+
+
+@pytest.mark.parametrize("mode_name", ["write-through", "write-back"])
+def test_mode_runtime(mode_name, benchmark):
+    from repro.bench.writes import _run
+    from repro.cache.manager import WriteMode
+
+    mode = WriteMode(mode_name)
+    benchmark.pedantic(
+        lambda: _run(mode, n_saves=20, saves_per_flush=5,
+                     document_bytes=3000, seed=59),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""§3's heavily-customized document: a financial portfolio page.
+
+"For a document with heavy customization, like a financial portfolio
+page, the verifier may invalidate the cached entry only if there has been
+significant change in the stock quotes or even modify these values as
+needed."
+
+The portfolio is a *composite* document (one part per ticker feed plus a
+news part); a custom active property returns ThresholdVerifiers so the
+cached page stays valid through small quote drift, is patched in place on
+moderate moves, and is fully refetched only when the market really moves.
+
+Run:  python examples/financial_portfolio.py
+"""
+
+import re
+
+from repro import DocumentCache, PlacelessKernel
+from repro.cache import ThresholdVerifier
+from repro.events import EventType
+from repro.placeless import ActiveProperty
+from repro.providers import CompositeProvider, MemoryProvider, WebOrigin, WebProvider
+
+
+class StockMarket:
+    """A toy market: quotes drift when nudged."""
+
+    def __init__(self) -> None:
+        self.quotes = {"XRX": 54.25, "SUNW": 91.50}
+
+    def nudge(self, ticker: str, delta: float) -> None:
+        self.quotes[ticker] = round(self.quotes[ticker] + delta, 2)
+
+
+class QuoteTrackerProperty(ActiveProperty):
+    """Returns a patching ThresholdVerifier per tracked ticker.
+
+    Small drift: cached page stays valid.  Beyond 2%: the verifier patches
+    the quote into the cached page (REVALIDATED) instead of forcing a full
+    recomposition of the portfolio.
+    """
+
+    execution_cost_ms = 0.3
+
+    def __init__(self, market: StockMarket, ticker: str):
+        super().__init__(f"track-{ticker}")
+        self.market = market
+        self.ticker = ticker
+
+    def events_of_interest(self):
+        return {EventType.GET_INPUT_STREAM}
+
+    def make_verifier(self):
+        ticker = self.ticker
+        market = self.market
+        pattern = re.compile(rf"{ticker}: [0-9.]+".encode())
+
+        def patch(content: bytes, value: float) -> bytes:
+            return pattern.sub(f"{ticker}: {value}".encode(), content)
+
+        return ThresholdVerifier(
+            observe=lambda: market.quotes[ticker],
+            baseline=market.quotes[ticker],
+            threshold_fraction=0.02,
+            patcher=patch,
+        )
+
+
+def main() -> None:
+    kernel = PlacelessKernel()
+    user = kernel.create_user("investor")
+    market = StockMarket()
+
+    # The portfolio composes per-ticker feeds and a news page.
+    def ticker_feed(ticker: str) -> MemoryProvider:
+        return MemoryProvider(
+            kernel.ctx, f"{ticker}: {market.quotes[ticker]}".encode()
+        )
+
+    news_origin = WebOrigin(kernel.ctx.clock, host="www")
+    news_origin.publish("/markets.html", b"Markets calm ahead of HotOS.",
+                        ttl_ms=3_600_000.0)
+    portfolio_provider = CompositeProvider(
+        kernel.ctx,
+        [
+            ticker_feed("XRX"),
+            ticker_feed("SUNW"),
+            WebProvider(kernel.ctx, news_origin, "/markets.html"),
+        ],
+        composer=lambda parts: b"\n".join(parts),
+    )
+    portfolio = kernel.import_document(user, portfolio_provider, "portfolio")
+    portfolio.attach(QuoteTrackerProperty(market, "XRX"))
+    portfolio.attach(QuoteTrackerProperty(market, "SUNW"))
+
+    cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+
+    print("== First view (miss, composes all sources) ==")
+    first = cache.read(portfolio)
+    print(first.content.decode())
+    print(f"[{first.disposition}, {first.elapsed_ms:.2f} ms]")
+
+    print("\n== Tiny drift: +0.50 on XRX (under 2%) ==")
+    market.nudge("XRX", +0.50)
+    small = cache.read(portfolio)
+    print(f"[{small.disposition}, {small.elapsed_ms:.2f} ms] — "
+          "cached page still valid")
+
+    print("\n== Real move: +5.00 on XRX (beyond 2%) ==")
+    market.nudge("XRX", +5.00)
+    patched = cache.read(portfolio)
+    print(patched.content.decode())
+    print(f"[{patched.disposition}, {patched.elapsed_ms:.2f} ms] — "
+          "verifier patched the quote in place")
+
+    print(f"\nStats: hits={cache.stats.hits} misses={cache.stats.misses} "
+          f"revalidations={cache.stats.verifier_revalidations} "
+          f"verifier cost={cache.stats.verifier_cost_ms:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

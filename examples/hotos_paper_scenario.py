@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Figures 1 & 2 of the paper as a runnable scenario.
+
+Eyal, Paul and Doug collaborate on the HotOS paper draft stored on PARC's
+NFS filer.  The base document carries a universal versioning property;
+Eyal personalizes with a spelling corrector and nightly PARC→Rice
+replication; Paul and Doug attach static labels.  MS-Word stands in for
+an off-the-shelf application driving everything through the NFS layer.
+
+Run:  python examples/hotos_paper_scenario.py
+"""
+
+from repro import NFSServer, PlacelessKernel, StaticProperty
+from repro.providers import FileSystemProvider, SimulatedFileSystem
+from repro.properties import (
+    ReplicationProperty,
+    SpellingCorrectorProperty,
+    VersioningProperty,
+)
+
+ONE_DAY_MS = 24 * 60 * 60 * 1000.0
+
+
+def main() -> None:
+    kernel = PlacelessKernel()
+    eyal = kernel.create_user("eyal")
+    paul = kernel.create_user("paul")
+    doug = kernel.create_user("doug")
+
+    # The draft lives on PARC's filer; the bit-provider is an NFS client.
+    parc = SimulatedFileSystem(kernel.ctx.clock)
+    parc.write(
+        "/tilde/edelara/hotos.doc",
+        b"Caching documnet with active propertys.\n"
+        b"This draft still has teh usual typos.",
+    )
+    base = kernel.create_document(
+        eyal,
+        FileSystemProvider(kernel.ctx, parc, "/tilde/edelara/hotos.doc"),
+        "hotos.doc",
+    )
+
+    # Universal property: version on every write, visible to all users.
+    versioning = VersioningProperty()
+    base.attach(versioning)
+
+    # Per-user references with personal properties (Figure 1).
+    eyal_ref = kernel.space(eyal).add_reference(base, "hotos.doc")
+    paul_ref = kernel.space(paul).add_reference(base, "hotos.doc")
+    doug_ref = kernel.space(doug).add_reference(base, "hotos.doc")
+
+    rice = SimulatedFileSystem(kernel.ctx.clock)
+    eyal_ref.attach(SpellingCorrectorProperty())
+    eyal_ref.attach(
+        ReplicationProperty(kernel.timers, rice, "/home/edelara/hotos.doc")
+    )
+    paul_ref.attach(StaticProperty("1999 workshop submission"))
+    doug_ref.attach(StaticProperty("read by", "11/30"))
+
+    # Off-the-shelf applications go through the NFS layer (Figure 2).
+    nfs = NFSServer(kernel)
+    eyal_word = nfs.mount(eyal)
+    eyal_word.bind("/hotos.doc", eyal_ref)
+    doug_word = nfs.mount(doug)
+    doug_word.bind("/hotos.doc", doug_ref)
+
+    print("== What each collaborator sees ==")
+    print("Eyal (spell-corrected):", eyal_word.read_file("/hotos.doc").decode())
+    print("Doug (raw)            :", kernel.read(doug_ref).content.decode())
+
+    print("\n== Eyal saves from MS-Word ==")
+    eyal_word.write_file(
+        "/hotos.doc",
+        b"Caching documents with active properties.\n"
+        b"Now with teh typos fixed on the write path.",
+    )
+    print("Stored at PARC:", parc.read("/tilde/edelara/hotos.doc").decode())
+    print(f"Versions archived: {versioning.version_count}")
+    link = base.find_property("version-1")
+    print("Version-1 content:",
+          versioning.get_version(link.value).decode().splitlines()[0])
+
+    print("\n== Doug revises ==")
+    doug_word.write_file("/hotos.doc", b"Doug's revision, eagerly written.")
+    print(f"Versions archived: {versioning.version_count}")
+
+    print("\n== End of day: replication to Rice fires ==")
+    kernel.ctx.clock.advance(ONE_DAY_MS + 1)
+    print("Rice replica:", rice.read("/home/edelara/hotos.doc").decode())
+
+    print("\n== Property listing ==")
+    print("Base      :", [p.name for p in base.properties])
+    print("Eyal ref  :", [p.name for p in eyal_ref.properties])
+    print("Paul ref  :", [p.name for p in paul_ref.properties])
+    print("Doug ref  :", [p.name for p in doug_ref.properties])
+
+
+if __name__ == "__main__":
+    main()

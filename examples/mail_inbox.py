@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A mail client over Placeless: immutable messages, a changing digest,
+and collection prefetch for thread reading.
+
+Demonstrates the append-only consistency model: individual messages are
+perfect cache citizens (valid forever), while the inbox digest goes stale
+the instant new mail arrives and its verifier catches that on the next
+view.  A collection groups the messages of one thread so opening the
+first message prefetches the rest.
+
+Run:  python examples/mail_inbox.py
+"""
+
+from repro import DocumentCache, PlacelessKernel
+from repro.placeless import DocumentCollection
+from repro.properties import attach_collection_prefetch
+from repro.providers import MailboxDigestProvider, MailServer, MessageProvider
+
+
+def main() -> None:
+    kernel = PlacelessKernel()
+    karin = kernel.create_user("karin")
+    mail = MailServer(kernel.ctx.clock)
+
+    # A thread arrives.
+    for sender, subject, body in [
+        ("eyal@rice", "caching paper draft", b"First draft attached."),
+        ("doug@parc", "re: caching paper draft", b"Comments inline."),
+        ("eyal@rice", "re: re: caching paper draft", b"Addressed, thanks!"),
+    ]:
+        mail.deliver("karin", sender, subject, body)
+        kernel.ctx.clock.advance(60_000)
+
+    # Placeless documents: one per message plus the inbox digest.
+    message_refs = [
+        kernel.import_document(
+            karin,
+            MessageProvider(kernel.ctx, mail, "karin", uid),
+            f"msg-{uid}",
+        )
+        for uid in (1, 2, 3)
+    ]
+    digest_ref = kernel.import_document(
+        karin, MailboxDigestProvider(kernel.ctx, mail, "karin"), "inbox"
+    )
+
+    cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+
+    # Thread messages form a collection; opening one prefetches the rest.
+    thread = DocumentCollection("caching-paper-thread", karin)
+    for ref in message_refs:
+        thread.add(ref)
+    attach_collection_prefetch(thread, cache)
+
+    print("== Inbox view ==")
+    print(cache.read(digest_ref).content.decode())
+
+    print("== Karin opens the first message ==")
+    first = cache.read(message_refs[0])
+    print(first.content.decode())
+    print(f"[{first.disposition}, {first.elapsed_ms:.2f} ms; "
+          f"prefetched {cache.stats.prefetch_fills} thread siblings]")
+
+    print("\n== She reads the replies (already prefetched) ==")
+    for ref in message_refs[1:]:
+        outcome = cache.read(ref)
+        subject = outcome.content.decode().splitlines()[1]
+        print(f"  {subject}  [{outcome.disposition}, "
+              f"{outcome.elapsed_ms:.3f} ms]")
+
+    print("\n== New mail arrives ==")
+    mail.deliver("karin", "pc-chair@hotos", "decision: accepted!", b"\\o/")
+    digest = cache.read(digest_ref)
+    print(f"[inbox re-read was a "
+          f"{'hit' if digest.hit else 'miss — verifier caught new mail'}]")
+    print(digest.content.decode())
+
+    print("== But cached messages stayed valid (immutable) ==")
+    again = cache.read(message_refs[0])
+    print(f"message 1 re-read: {'hit' if again.hit else 'miss'}")
+    print(f"\nStats: hits={cache.stats.hits} misses={cache.stats.misses} "
+          f"prefetch fills={cache.stats.prefetch_fills}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``bench [EXPERIMENT]``
+    Run one experiment (``table1``, ``a1`` … ``a10``) or all of them.
+``demo``
+    Run the quickstart scenario inline (no file needed).
+``info``
+    Print the library version, module inventory and experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+_EXPERIMENT_MODULES = {
+    "table1": "repro.bench.table1",
+    "a1": "repro.bench.notifier_verifier",
+    "a2": "repro.bench.replacement",
+    "a3": "repro.bench.sharing",
+    "a4": "repro.bench.cacheability",
+    "a5": "repro.bench.invalidation",
+    "a6": "repro.bench.qos",
+    "a7": "repro.bench.chains",
+    "a8": "repro.bench.placement",
+    "a9": "repro.bench.collections",
+    "a10": "repro.bench.external",
+    "a11": "repro.bench.writes",
+}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import importlib
+
+    if args.experiment == "all":
+        from repro.bench.__main__ import main as run_all
+
+        run_all()
+        return 0
+    module_name = _EXPERIMENT_MODULES.get(args.experiment)
+    if module_name is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from: all, {', '.join(_EXPERIMENT_MODULES)}",
+            file=sys.stderr,
+        )
+        return 2
+    importlib.import_module(module_name).main()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import DocumentCache, MemoryProvider, PlacelessKernel
+    from repro.properties import SpellingCorrectorProperty, TranslationProperty
+
+    kernel = PlacelessKernel()
+    eyal = kernel.create_user("eyal")
+    doug = kernel.create_user("doug")
+    base = kernel.create_document(
+        eyal, MemoryProvider(kernel.ctx, b"Teh world of documents"), "demo"
+    )
+    eyal_ref = kernel.space(eyal).add_reference(base)
+    doug_ref = kernel.space(doug).add_reference(base)
+    eyal_ref.attach(SpellingCorrectorProperty())
+    doug_ref.attach(TranslationProperty())
+    cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+    print("eyal reads:", cache.read(eyal_ref).content.decode())
+    print("doug reads:", cache.read(doug_ref).content.decode())
+    hit = cache.read(eyal_ref)
+    print(f"eyal again: {hit.disposition} in {hit.elapsed_ms:.3f} virtual ms")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — reproduction of "
+          "'Caching Documents with Active Properties' (HotOS 1999)")
+    print(f"public API symbols: {len(repro.__all__)}")
+    print("experiments:", ", ".join(["all"] + list(_EXPERIMENT_MODULES)))
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Placeless Documents active-property caching — "
+        "paper reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    bench = commands.add_parser("bench", help="run experiments")
+    bench.add_argument(
+        "experiment", nargs="?", default="all",
+        help="table1, a1..a11, or all (default)",
+    )
+    bench.set_defaults(func=_cmd_bench)
+
+    demo = commands.add_parser("demo", help="run a tiny inline demo")
+    demo.set_defaults(func=_cmd_demo)
+
+    info = commands.add_parser("info", help="print library info")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

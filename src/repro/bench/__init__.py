@@ -1,0 +1,25 @@
+"""Benchmark harness: regenerates every table/figure and the ablations.
+
+One module per experiment in DESIGN.md's index:
+
+* :mod:`repro.bench.table1` — the paper's Table 1 (access times for
+  no-cache / cache-miss / cache-hit on the three named documents);
+* :mod:`repro.bench.notifier_verifier` — A1, the notifier/verifier
+  trade-off §3 poses and §5 defers;
+* :mod:`repro.bench.replacement` — A2, Greedy-Dual-Size with
+  property-supplied costs vs. baselines;
+* :mod:`repro.bench.sharing` — A3, content-signature sharing;
+* :mod:`repro.bench.cacheability` — A4, the three cacheability levels
+  and event forwarding vs. the WWW "make it uncacheable" alternative;
+* :mod:`repro.bench.invalidation` — A5, the four consistency classes
+  end-to-end;
+* :mod:`repro.bench.qos` — A6, QoS cost inflation under pressure;
+* :mod:`repro.bench.chains` — A7, latency vs. property-chain length.
+
+Each module exposes ``run_*`` returning structured rows and a ``main()``
+that prints the paper-style table; ``python -m repro.bench`` runs all.
+"""
+
+from repro.bench.harness import format_table, mean
+
+__all__ = ["format_table", "mean"]

@@ -1,0 +1,44 @@
+"""Run every experiment and print every table: ``python -m repro.bench``."""
+
+from __future__ import annotations
+
+from repro.bench import (
+    cacheability,
+    chains,
+    collections,
+    external,
+    invalidation,
+    notifier_verifier,
+    placement,
+    qos,
+    replacement,
+    sharing,
+    table1,
+    writes,
+)
+
+_EXPERIMENTS = (
+    ("Table 1", table1),
+    ("A1 notifier/verifier", notifier_verifier),
+    ("A2 replacement", replacement),
+    ("A3 sharing", sharing),
+    ("A4 cacheability", cacheability),
+    ("A5 invalidation classes", invalidation),
+    ("A6 QoS", qos),
+    ("A7 chain latency", chains),
+    ("A8 cache placement", placement),
+    ("A9 collection prefetch", collections),
+    ("A10 external-dependency placement", external),
+    ("A11 write modes", writes),
+)
+
+
+def main() -> None:
+    """Run all experiments in DESIGN.md order."""
+    for label, module in _EXPERIMENTS:
+        print(f"\n{'=' * 72}\n{label}\n{'=' * 72}")
+        module.main()
+
+
+if __name__ == "__main__":
+    main()

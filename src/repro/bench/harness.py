@@ -1,0 +1,78 @@
+"""Shared helpers for the benchmark modules: formatting and statistics."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_csv", "mean", "percentile"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty iterable."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Iterable[float], p: float) -> float:
+    """The *p*-th percentile (0–100), nearest-rank; 0.0 when empty."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def format_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render rows as CSV (for piping bench output into plotting tools)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Plain-text aligned table, the way the paper prints Table 1.
+
+    Numbers are rendered with sensible precision; everything else with
+    ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

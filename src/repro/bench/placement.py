@@ -1,0 +1,162 @@
+"""A8: cache placement — application-level, server co-located, both.
+
+§4: "We also experimented with caches co-located with the Placeless
+server and on the machine where applications are run."
+
+Three deployments over the same multi-user Zipf workload:
+
+* **app-level** — each user machine runs its own cache (hits are local,
+  but no cross-user sharing: every machine fills independently);
+* **server** — one cache at the Placeless reference server (hits cross
+  the app→server hop, but all users share one cache, so a document any
+  user fetched is warm for everyone);
+* **both** — per-user app-level caches backed by the shared server cache
+  (the two-level hierarchy): local hits where possible, server hits
+  where a sibling already fetched, full path only on a global miss;
+* **server+adoption** / **both+adoption** — the same with §3's
+  signature-adoption optimization enabled at the server cache, so a
+  user's first access to a document another (identically-configured)
+  user already fetched is served by establishing the signature mapping
+  instead of running the full read path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import format_table
+from repro.cache.manager import DocumentCache
+from repro.cache.notifiers import InvalidationBus
+from repro.placeless.kernel import PlacelessKernel
+from repro.sim.topology import CachePlacement
+from repro.workload.documents import CorpusSpec, build_corpus
+from repro.workload.trace import TraceSpec, generate_trace
+from repro.workload.users import build_population
+
+__all__ = ["PlacementResult", "run_placement", "main"]
+
+
+@dataclass
+class PlacementResult:
+    """Metrics of one deployment."""
+
+    deployment: str
+    mean_latency_ms: float
+    #: Fraction of reads answered without running the full read path.
+    combined_hit_ratio: float
+    l1_hit_ratio: float
+    l2_hit_ratio: float
+    kernel_reads: int
+    bytes_cached: int
+
+
+def _workload(n_documents: int, n_users: int, n_events: int, seed: int):
+    kernel = PlacelessKernel()
+    owner = kernel.create_user("owner")
+    corpus = build_corpus(
+        kernel, owner,
+        CorpusSpec(n_documents=n_documents, ttl_ms=3_600_000.0, seed=seed),
+    )
+    population = build_population(
+        kernel, corpus, n_users, personalized_fraction=0.0, seed=seed
+    )
+    spec = TraceSpec(
+        n_events=n_events, n_documents=n_documents, n_users=n_users,
+        zipf_alpha=0.8, seed=seed + 3,
+    )
+    return kernel, corpus, population, list(generate_trace(spec))
+
+
+def _run(deployment: str, n_documents: int, n_users: int, n_events: int,
+         capacity: int, seed: int) -> PlacementResult:
+    kernel, corpus, population, trace = _workload(
+        n_documents, n_users, n_events, seed
+    )
+    bus = InvalidationBus(kernel.ctx)
+
+    adoption = deployment.endswith("+adoption")
+    tier = deployment.removesuffix("+adoption")
+    server_cache = None
+    if tier in ("server", "both"):
+        server_cache = DocumentCache(
+            kernel, capacity_bytes=capacity, bus=bus,
+            placement=CachePlacement.SERVER_COLOCATED,
+            share_across_users=adoption, name="a8-server",
+        )
+    app_caches: list[DocumentCache] = []
+    if tier in ("app-level", "both"):
+        app_caches = [
+            DocumentCache(
+                kernel, capacity_bytes=capacity, bus=bus,
+                placement=CachePlacement.APPLICATION_LEVEL,
+                backing=server_cache,
+                name=f"a8-app-{user_index}",
+            )
+            for user_index in range(n_users)
+        ]
+
+    total_latency = 0.0
+    for event in trace:
+        reference = population.reference(event.user_index, event.document_index)
+        if tier == "server":
+            outcome = server_cache.read(reference)
+        else:
+            outcome = app_caches[event.user_index].read(reference)
+        total_latency += outcome.elapsed_ms
+
+    l1_hits = sum(c.stats.hits for c in app_caches)
+    l1_lookups = sum(c.stats.lookups for c in app_caches)
+    l2_hits = server_cache.stats.hits if server_cache else 0
+    l2_lookups = server_cache.stats.lookups if server_cache else 0
+    combined_hits = l1_hits + l2_hits
+    bytes_cached = sum(c.used_bytes for c in app_caches)
+    if server_cache is not None:
+        bytes_cached += server_cache.used_bytes
+    return PlacementResult(
+        deployment=deployment,
+        mean_latency_ms=total_latency / len(trace),
+        combined_hit_ratio=combined_hits / len(trace),
+        l1_hit_ratio=l1_hits / l1_lookups if l1_lookups else 0.0,
+        l2_hit_ratio=l2_hits / l2_lookups if l2_lookups else 0.0,
+        kernel_reads=kernel.stats.reads,
+        bytes_cached=bytes_cached,
+    )
+
+
+def run_placement(
+    n_documents: int = 60,
+    n_users: int = 6,
+    n_events: int = 2400,
+    capacity: int = 64 << 20,
+    seed: int = 19,
+) -> list[PlacementResult]:
+    """Run the three deployments over identical workloads."""
+    return [
+        _run(deployment, n_documents, n_users, n_events, capacity, seed)
+        for deployment in (
+            "app-level", "server", "server+adoption", "both", "both+adoption",
+        )
+    ]
+
+
+def main() -> None:
+    """Print the A8 table."""
+    rows = run_placement()
+    print(
+        format_table(
+            ["deployment", "mean latency (ms)", "combined hit ratio",
+             "L1 hit ratio", "L2 hit ratio", "kernel reads", "cached MB"],
+            [
+                (r.deployment, r.mean_latency_ms, r.combined_hit_ratio,
+                 r.l1_hit_ratio, r.l2_hit_ratio, r.kernel_reads,
+                 r.bytes_cached / 1e6)
+                for r in rows
+            ],
+            title="A8. Cache placement: application-level vs. server "
+            "co-located vs. a two-level hierarchy (6 users, shared docs).",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""The paper's core contribution: active-property-aware content caching.
+
+Everything §3 describes lives here: per-(document, user) cache entries
+indirecting through MD5 content signatures, the three-level cacheability
+vote with most-restrictive aggregation, notifier- and verifier-based
+consistency covering the four invalidation classes, cost-aware
+Greedy-Dual-Size replacement seeded by bit-provider retrieval costs and
+property execution times, and write-through/write-back modes with
+operation-event forwarding.
+"""
+
+from repro.cache.cacheability import Cacheability
+from repro.cache.consistency import (
+    Invalidation,
+    InvalidationClass,
+    InvalidationReason,
+)
+from repro.cache.entry import CacheEntry, EntryKey
+from repro.cache.manager import CacheReadOutcome, DocumentCache, WriteMode
+from repro.cache.notifiers import (
+    InvalidationBus,
+    NotifierProperty,
+    install_minimum_notifiers,
+)
+from repro.cache.replacement import (
+    FIFOPolicy,
+    GreedyDualPolicy,
+    GreedyDualSizePolicy,
+    LFUPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SizePolicy,
+    make_policy,
+)
+from repro.cache.stats import CacheStats
+from repro.cache.verifiers import (
+    AlwaysInvalidVerifier,
+    AlwaysValidVerifier,
+    CompositeVerifier,
+    ModificationTimeVerifier,
+    PredicateVerifier,
+    ThresholdVerifier,
+    TTLVerifier,
+    Verdict,
+    Verifier,
+    VerifierResult,
+)
+
+__all__ = [
+    "Cacheability",
+    "Invalidation",
+    "InvalidationClass",
+    "InvalidationReason",
+    "CacheEntry",
+    "EntryKey",
+    "DocumentCache",
+    "CacheReadOutcome",
+    "WriteMode",
+    "InvalidationBus",
+    "NotifierProperty",
+    "install_minimum_notifiers",
+    "ReplacementPolicy",
+    "GreedyDualSizePolicy",
+    "GreedyDualPolicy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "FIFOPolicy",
+    "SizePolicy",
+    "RandomPolicy",
+    "make_policy",
+    "CacheStats",
+    "Verifier",
+    "Verdict",
+    "VerifierResult",
+    "AlwaysValidVerifier",
+    "AlwaysInvalidVerifier",
+    "TTLVerifier",
+    "ModificationTimeVerifier",
+    "PredicateVerifier",
+    "CompositeVerifier",
+    "ThresholdVerifier",
+]

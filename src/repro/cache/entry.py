@@ -1,0 +1,96 @@
+"""Cache entries: per-(document, user) versions indirecting via signatures.
+
+"Our current implementation tags content with both a document identifier
+and the user to whom the version of the document belongs. ... content
+entries could be shared if the cache maps a pair of document and user
+identifiers to a content signature (e.g., MD5 hash) and in turn these
+signatures map to the actual content." (§3)
+
+The entry holds the *signature*, not the bytes; the bytes live in the
+cache's :class:`~repro.content.store.ContentStore`, shared between all
+entries whose transformed content is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.cache.cacheability import Cacheability
+from repro.cache.consistency import Invalidation
+from repro.cache.verifiers import Verifier
+from repro.content.signature import ContentSignature
+from repro.ids import DocumentId, ReferenceId, UserId
+
+__all__ = ["EntryKey", "CacheEntry"]
+
+
+class EntryKey(NamedTuple):
+    """The (document, user) pair identifying a personalized cached version."""
+
+    document_id: DocumentId
+    user_id: UserId
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"({self.document_id}, {self.user_id})"
+
+
+@dataclass
+class CacheEntry:
+    """One user's cached version of one document's transformed content."""
+
+    key: EntryKey
+    signature: ContentSignature
+    size: int
+    cacheability: Cacheability
+    verifiers: list[Verifier]
+    #: Replacement cost accumulated along the read path (bit-provider
+    #: retrieval cost + property execution times + QoS inflation).
+    replacement_cost_ms: float
+    #: Ordered transform signatures of the chain that produced the bytes.
+    chain_signature: tuple[str, ...]
+    #: The reference the content was read through (needed to forward
+    #: operation events and to refill on misses).
+    reference_id: ReferenceId | None
+    created_at_ms: float
+    last_access_ms: float
+    access_count: int = 1
+    #: Set when the entry is invalidated; kept for attribution/reporting.
+    invalidation: Invalidation | None = None
+    #: Dirty bytes buffered by a write-back cache, pending flush.
+    dirty_content: bytes | None = None
+    #: Pinned entries are never chosen as replacement victims (§5's
+    #: "always available" QoS requirement).
+    pinned: bool = False
+    #: Replacement-policy scratch state (e.g. the GDS H-value).
+    policy_state: dict = field(default_factory=dict)
+
+    @property
+    def document_id(self) -> DocumentId:
+        """The document half of the key."""
+        return self.key.document_id
+
+    @property
+    def user_id(self) -> UserId:
+        """The user half of the key."""
+        return self.key.user_id
+
+    @property
+    def valid(self) -> bool:
+        """True until the entry is invalidated."""
+        return self.invalidation is None
+
+    @property
+    def is_dirty(self) -> bool:
+        """True while a write-back has unflushed local bytes."""
+        return self.dirty_content is not None
+
+    def touch(self, now_ms: float) -> None:
+        """Record one access."""
+        self.last_access_ms = now_ms
+        self.access_count += 1
+
+    def invalidate(self, invalidation: Invalidation) -> None:
+        """Mark the entry stale (first invalidation wins)."""
+        if self.invalidation is None:
+            self.invalidation = invalidation

@@ -1,0 +1,800 @@
+"""The document content cache manager.
+
+Ties together everything §3 and §4 describe:
+
+* entries tagged ``(document id, user id)`` indirecting through MD5
+  content signatures into a shared, reference-counted content store;
+* on every hit, the entry's verifiers execute (charging their cost —
+  the consistency/latency trade-off), possibly invalidating or patching
+  the entry in place;
+* on every miss, the full Placeless read path runs; the returned
+  cacheability indicator decides whether/how to fill, and the first fill
+  for a (document, user) installs the paper's *minimum notifier set*
+  (whose creation cost is the Table-1 miss overhead);
+* entries voted ``CACHEABLE_WITH_EVENTS`` forward each hit to the
+  Placeless system as a READ_FORWARDED event so properties like the
+  read-audit-trail still observe operations;
+* replacement is delegated to a pluggable policy (Greedy-Dual-Size with
+  path-supplied costs by default);
+* writes run write-through (immediate full write path) or write-back
+  (buffer locally, forward WRITE_FORWARDED events to interested
+  properties, flush on demand/eviction/read).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from dataclasses import dataclass
+
+from repro.cache.consistency import Invalidation, InvalidationReason
+from repro.cache.entry import CacheEntry, EntryKey
+from repro.cache.notifiers import InvalidationBus, install_minimum_notifiers
+from repro.cache.stats import CacheStats
+from repro.cache.verifiers import Verdict
+from repro.content.signature import sign
+from repro.content.store import ContentStore
+from repro.errors import CacheCapacityError, CacheError
+from repro.cache.replacement import GreedyDualSizePolicy, ReplacementPolicy
+from repro.events.types import EventType
+from repro.ids import CacheId, DocumentId, UserId
+from repro.sim.topology import CachePlacement, Topology
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.placeless.kernel import PlacelessKernel
+    from repro.placeless.reference import DocumentReference
+
+__all__ = ["WriteMode", "CacheReadOutcome", "DocumentCache"]
+
+#: Simulated cost of creating one notifier property at fill time — part
+#: of the small miss overhead Table 1 reports.
+NOTIFIER_INSTALL_COST_MS = 0.15
+#: Simulated cost of receiving/registering one verifier at fill time.
+VERIFIER_INSTALL_COST_MS = 0.05
+#: Simulated cost of the metadata exchange that establishes a
+#: (document, user) → signature mapping from another user's entry.
+ADOPTION_COST_MS = 0.3
+
+
+class WriteMode(enum.Enum):
+    """Write-through vs. write-back (§3, Cache Management)."""
+
+    WRITE_THROUGH = "write-through"
+    WRITE_BACK = "write-back"
+
+
+@dataclass
+class CacheReadOutcome:
+    """Result of one read through the cache."""
+
+    content: bytes
+    hit: bool
+    elapsed_ms: float
+    #: "hit", "revalidated", "miss", "miss-verifier", "miss-invalidated",
+    #: "uncacheable", or "miss-oversize".
+    disposition: str
+
+    @property
+    def size(self) -> int:
+        """Bytes delivered to the application."""
+        return len(self.content)
+
+
+class DocumentCache:
+    """An application-level (or server co-located) content cache.
+
+    Parameters
+    ----------
+    kernel:
+        The Placeless kernel behind this cache.
+    capacity_bytes:
+        Physical capacity of the content store (deduplicated bytes).
+    policy:
+        Replacement policy; defaults to cost-aware Greedy-Dual-Size.
+    bus:
+        The invalidation bus notifiers deliver through; one is created
+        (and registered with) if not supplied.
+    write_mode:
+        Write-through (default) or write-back.
+    install_notifiers:
+        Whether fills install the §3 minimum notifier set.  The A1
+        ablation disables this to run in verifier-only mode.
+    use_verifiers:
+        Whether hits execute verifiers.  The A1 ablation disables this to
+        run in notifier-only mode.
+    track_staleness:
+        When True, every hit is compared against ground truth (the
+        repository's current raw bytes) to count stale hits — possible
+        only in simulation, free of charge to the virtual clock.
+    placement:
+        Where *this* cache sits (overrides the topology default).  §4
+        experimented "with caches co-located with the Placeless server
+        and on the machine where applications are run"; an
+        application-level cache serves hits over the local hop, a
+        server-colocated one over the app→reference-server hop.
+    backing:
+        Optional second-level cache.  Misses are filled from the backing
+        cache instead of going straight to the kernel, modelling the §4
+        deployment with *both* an application-level and a server
+        co-located cache.
+    serve_stale_on_error:
+        When a verifier invalidates an entry but the refetch fails (the
+        repository is offline), serve the stale bytes instead of raising
+        — availability over freshness, the choice web proxies make.  Off
+        by default.
+    share_across_users:
+        §3's signature-adoption optimization: "for subsequent accesses,
+        content entries could be shared ... On a cache miss for an
+        already cached version of the same content, only the document and
+        user identifier mapping to the content signature needs to be
+        established."  When a miss finds another user's *valid* entry for
+        the same document with an identical transformation-chain
+        signature, the cache adopts that entry's content signature after
+        re-running its verifiers, instead of executing the full read
+        path.  Off by default (the paper describes it as a possible
+        extension beyond the implemented prototype).
+    """
+
+    def __init__(
+        self,
+        kernel: "PlacelessKernel",
+        capacity_bytes: int,
+        policy: ReplacementPolicy | None = None,
+        bus: InvalidationBus | None = None,
+        write_mode: WriteMode = WriteMode.WRITE_THROUGH,
+        install_notifiers: bool = True,
+        use_verifiers: bool = True,
+        track_staleness: bool = False,
+        placement: "CachePlacement | None" = None,
+        backing: "DocumentCache | None" = None,
+        share_across_users: bool = False,
+        serve_stale_on_error: bool = False,
+        name: str = "cache",
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise CacheCapacityError(
+                f"capacity must be positive: {capacity_bytes}"
+            )
+        self.kernel = kernel
+        self.ctx = kernel.ctx
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy or GreedyDualSizePolicy()
+        self.bus = bus or InvalidationBus(self.ctx)
+        self.write_mode = write_mode
+        self.install_notifiers = install_notifiers
+        self.use_verifiers = use_verifiers
+        self.track_staleness = track_staleness
+        self.backing = backing
+        self.share_across_users = share_across_users
+        self.serve_stale_on_error = serve_stale_on_error
+        if placement is None:
+            self._topology = self.ctx.topology
+        else:
+            self._topology = Topology(placement=placement)
+        self.cache_id: CacheId = self.ctx.ids.cache(name)
+        self.stats = CacheStats()
+        self.store = ContentStore()
+        self._entries: dict[EntryKey, CacheEntry] = {}
+        self._dirty: dict[EntryKey, tuple["DocumentReference", bytes]] = {}
+        self._prefetch_queue: list["DocumentReference"] = []
+        self._draining_prefetch = False
+        self.bus.register(self.cache_id, self.apply_invalidation)
+
+    # -- introspection ------------------------------------------------------
+
+    def __contains__(self, key: EntryKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[CacheEntry]:
+        """All live entries (unspecified order)."""
+        return list(self._entries.values())
+
+    def entry_for(self, reference: "DocumentReference") -> CacheEntry | None:
+        """The live entry for a reference's (document, user) pair, if any."""
+        return self._entries.get(self._key(reference))
+
+    @property
+    def used_bytes(self) -> int:
+        """Physical (deduplicated) bytes currently cached."""
+        return self.store.physical_bytes
+
+    @staticmethod
+    def _key(reference: "DocumentReference") -> EntryKey:
+        return EntryKey(reference.base.document_id, reference.owner)
+
+    def describe(self) -> str:
+        """Human-readable dump of the cache's state, for debugging.
+
+        One line per entry: key, content signature, size, cacheability,
+        verifier count, replacement cost, pinned/dirty flags.
+        """
+        lines = [
+            f"{self.cache_id}: {len(self._entries)} entries, "
+            f"{self.store.physical_bytes}/{self.capacity_bytes} bytes "
+            f"({len(self.store)} distinct contents), "
+            f"policy={self.policy.name}, mode={self.write_mode.value}"
+        ]
+        for entry in sorted(self._entries.values(), key=lambda e: str(e.key)):
+            flags = []
+            if entry.pinned:
+                flags.append("pinned")
+            if entry.is_dirty:
+                flags.append("dirty")
+            lines.append(
+                f"  {entry.key} -> {entry.signature.short} "
+                f"{entry.size}B {entry.cacheability.name} "
+                f"verifiers={len(entry.verifiers)} "
+                f"cost={entry.replacement_cost_ms:.2f}ms "
+                f"accesses={entry.access_count}"
+                + (f" [{','.join(flags)}]" if flags else "")
+            )
+        if self._dirty:
+            lines.append(f"  dirty write-backs pending: {len(self._dirty)}")
+        return "\n".join(lines)
+
+    # -- read path -----------------------------------------------------------
+
+    def read(self, reference: "DocumentReference") -> CacheReadOutcome:
+        """Read the document through the cache.
+
+        Any collection-prefetch requests queued by properties during the
+        read are serviced *after* the outcome is computed, so prefetch
+        work never inflates the triggering read's latency.
+        """
+        outcome = self._read_inner(reference)
+        self._drain_prefetch()
+        return outcome
+
+    def _read_inner(self, reference: "DocumentReference") -> CacheReadOutcome:
+        key = self._key(reference)
+        started_ms = self.ctx.clock.now_ms
+
+        # A write-back user reading their own dirty document must see
+        # their buffered write; flush it through the full path first.
+        if key in self._dirty:
+            self.flush(reference)
+
+        entry = self._entries.get(key)
+        stale_content: bytes | None = None
+        if entry is not None:
+            outcome, stale_content = self._try_hit(
+                reference, entry, started_ms
+            )
+            if outcome is not None:
+                if entry.policy_state.get("prefetched"):
+                    self.stats.prefetched_hits += 1
+                    entry.policy_state["prefetched"] = False
+                return outcome
+        return self._miss(reference, key, started_ms, stale_content)
+
+    # -- collection prefetch (§5 "related documents") -------------------------
+
+    def request_prefetch(self, reference: "DocumentReference") -> bool:
+        """Queue a sibling document for prefetching after the current read.
+
+        Used by :class:`~repro.properties.collection.CollectionPrefetchProperty`
+        to tailor caching for related documents.  Returns True if queued
+        (not already cached or queued).
+        """
+        key = self._key(reference)
+        if key in self._entries:
+            return False
+        if any(self._key(queued) == key for queued in self._prefetch_queue):
+            return False
+        self._prefetch_queue.append(reference)
+        self.stats.prefetch_requests += 1
+        return True
+
+    def _drain_prefetch(self) -> None:
+        """Fill every queued prefetch (misses only; no recursion)."""
+        if self._draining_prefetch:
+            return
+        self._draining_prefetch = True
+        try:
+            while self._prefetch_queue:
+                reference = self._prefetch_queue.pop(0)
+                key = self._key(reference)
+                if key in self._entries:
+                    continue
+                self._read_inner(reference)
+                entry = self._entries.get(key)
+                if entry is not None:
+                    entry.policy_state["prefetched"] = True
+                    self.stats.prefetch_fills += 1
+        finally:
+            self._draining_prefetch = False
+
+    def _try_hit(
+        self,
+        reference: "DocumentReference",
+        entry: CacheEntry,
+        started_ms: float,
+    ) -> tuple[CacheReadOutcome | None, bytes | None]:
+        """Serve a hit if the verifiers agree.
+
+        Returns ``(outcome, None)`` on a hit, or ``(None, stale_bytes)``
+        when a verifier invalidated the entry — the caller falls through
+        to the miss path, keeping the stale bytes available for
+        serve-stale-on-error.
+        """
+        content = self.store.get(entry.signature)
+        disposition = "hit"
+        # "cache hit" latency: the local (or app→server) hop only.
+        for hop in self._topology.hit_path():
+            self.ctx.charge_hop(hop, entry.size)
+
+        if self.use_verifiers:
+            for verifier in entry.verifiers:
+                self.stats.verifier_executions += 1
+                self.stats.verifier_cost_ms += verifier.cost_ms
+                self.ctx.charge(verifier.cost_ms)
+                try:
+                    result = verifier.run(self.ctx.clock.now_ms, content)
+                except Exception:
+                    self._drop(entry, InvalidationReason.VERIFIER_FAILED,
+                               origin="verifier")
+                    self.stats.verifier_invalidations += 1
+                    return None, content
+                if result.verdict is Verdict.INVALID:
+                    reason = (
+                        InvalidationReason.SOURCE_UPDATED_OUT_OF_BAND
+                        if verifier.invalidation_label == "source"
+                        else InvalidationReason.EXTERNAL_CHANGED
+                    )
+                    self._drop(entry, reason, origin="verifier")
+                    self.stats.verifier_invalidations += 1
+                    return None, content
+                if result.verdict is Verdict.REVALIDATED:
+                    content = result.patched_content or b""
+                    self._replace_content(entry, content)
+                    self.stats.verifier_revalidations += 1
+                    disposition = "revalidated"
+
+        if entry.cacheability.requires_event_forwarding:
+            self._forward_read(reference)
+
+        entry.touch(self.ctx.clock.now_ms)
+        self.policy.on_access(entry)
+        if self.track_staleness and self._is_stale(reference, entry):
+            self.stats.stale_hits += 1
+        elapsed = self.ctx.clock.now_ms - started_ms
+        self.stats.hits += 1
+        self.stats.hit_latency_ms += elapsed
+        self.stats.bytes_served_from_cache += len(content)
+        return (
+            CacheReadOutcome(
+                content=content, hit=True, elapsed_ms=elapsed,
+                disposition=disposition,
+            ),
+            None,
+        )
+
+    def _fetch(self, reference: "DocumentReference"):
+        """Fetch content + path metadata from the next level down.
+
+        With a backing cache this is the second-level cache (which may
+        itself hit or miss); without one it is the full Placeless read
+        path.
+        """
+        if self.backing is not None:
+            return self.backing.read_for_fill(reference)
+        outcome = self.kernel.read(reference)
+        return outcome.content, outcome.meta
+
+    def _miss(
+        self,
+        reference: "DocumentReference",
+        key: EntryKey,
+        started_ms: float,
+        stale_content: bytes | None = None,
+    ) -> CacheReadOutcome:
+        """Full read through the level below, then fill if cacheable."""
+        if self.share_across_users:
+            adopted = self._try_adopt(reference, key)
+            if adopted is not None:
+                elapsed = self.ctx.clock.now_ms - started_ms
+                self.stats.misses += 1
+                self.stats.miss_latency_ms += elapsed
+                return CacheReadOutcome(
+                    content=self.store.get(adopted.signature),
+                    hit=False,
+                    elapsed_ms=elapsed,
+                    disposition="miss-adopted",
+                )
+        try:
+            content, meta = self._fetch(reference)
+        except CacheError:
+            raise
+        except Exception:
+            if self.serve_stale_on_error and stale_content is not None:
+                elapsed = self.ctx.clock.now_ms - started_ms
+                self.stats.misses += 1
+                self.stats.miss_latency_ms += elapsed
+                self.stats.stale_served_on_error += 1
+                return CacheReadOutcome(
+                    content=stale_content, hit=False, elapsed_ms=elapsed,
+                    disposition="stale-on-error",
+                )
+            raise
+        disposition = "miss"
+
+        if not meta.cacheability.allows_caching:
+            self.stats.uncacheable_reads += 1
+            disposition = "uncacheable"
+        elif len(content) > self.capacity_bytes:
+            disposition = "miss-oversize"
+        else:
+            self._fill(reference, key, content, meta)
+
+        elapsed = self.ctx.clock.now_ms - started_ms
+        self.stats.misses += 1
+        self.stats.miss_latency_ms += elapsed
+        return CacheReadOutcome(
+            content=content, hit=False, elapsed_ms=elapsed,
+            disposition=disposition,
+        )
+
+    def read_for_fill(self, reference: "DocumentReference"):
+        """Serve an upper-level cache: content plus fill metadata.
+
+        A hit synthesizes the metadata the upper cache needs (verifiers,
+        cacheability, replacement cost, chain signature) from the stored
+        entry — the same information the read path originally supplied;
+        a miss runs the normal miss path and reuses its metadata.
+        """
+        key = self._key(reference)
+        started_ms = self.ctx.clock.now_ms
+        if key in self._dirty:
+            self.flush(reference)
+        entry = self._entries.get(key)
+        if entry is not None:
+            hit, _ = self._try_hit(reference, entry, started_ms)
+            if hit is not None:
+                live = self._entries.get(key)
+                if live is not None:
+                    return hit.content, self._meta_from_entry(live)
+        if self.share_across_users:
+            adopted = self._try_adopt(reference, key)
+            if adopted is not None:
+                self.stats.misses += 1
+                self.stats.miss_latency_ms += (
+                    self.ctx.clock.now_ms - started_ms
+                )
+                return (
+                    self.store.get(adopted.signature),
+                    self._meta_from_entry(adopted),
+                )
+        content, meta = self._fetch(reference)
+        if not meta.cacheability.allows_caching:
+            self.stats.uncacheable_reads += 1
+        elif len(content) <= self.capacity_bytes:
+            self._fill(reference, key, content, meta)
+        elapsed = self.ctx.clock.now_ms - started_ms
+        self.stats.misses += 1
+        self.stats.miss_latency_ms += elapsed
+        return content, meta
+
+    def _meta_from_entry(self, entry: CacheEntry):
+        """Reconstruct read-path metadata from a stored entry."""
+        from repro.placeless.document import PathMeta
+
+        return PathMeta(
+            verifiers=list(entry.verifiers),
+            votes=[entry.cacheability],
+            replacement_cost_ms=entry.replacement_cost_ms,
+            chain_signature=entry.chain_signature,
+            properties_executed=0,
+            source_signature=entry.policy_state.get("source_signature"),
+            pin=entry.pinned,
+        )
+
+    def _fill(self, reference, key: EntryKey, content: bytes, meta) -> None:
+        """Insert (or refresh) the entry for *key* with *content*."""
+        existing = self._entries.get(key)
+        if existing is not None:
+            self._remove_entry(existing)
+
+        signature = self.store.put(content)
+        self._evict_to_capacity(protect=key)
+        now = self.ctx.clock.now_ms
+        entry = CacheEntry(
+            key=key,
+            signature=signature,
+            size=len(content),
+            cacheability=meta.cacheability,
+            verifiers=list(meta.verifiers),
+            replacement_cost_ms=meta.replacement_cost_ms,
+            chain_signature=meta.chain_signature,
+            reference_id=reference.reference_id,
+            created_at_ms=now,
+            last_access_ms=now,
+        )
+        entry.pinned = bool(getattr(meta, "pin", False))
+        entry.policy_state["source_signature"] = meta.source_signature
+        self._entries[key] = entry
+        self.policy.on_insert(entry)
+        self.stats.bytes_filled += len(content)
+        # Fill overhead: register the returned verifiers and install the
+        # minimum notifier set — Table 1's miss-vs-no-cache delta.
+        self.ctx.charge(VERIFIER_INSTALL_COST_MS * len(meta.verifiers))
+        if self.install_notifiers:
+            installed = install_minimum_notifiers(
+                reference, self.bus, self.cache_id
+            )
+            self.ctx.charge(NOTIFIER_INSTALL_COST_MS * len(installed))
+
+    def _evict_to_capacity(self, protect: EntryKey | None = None) -> None:
+        """Evict victims until physical bytes fit the capacity."""
+        while self.store.physical_bytes > self.capacity_bytes:
+            candidates = {
+                key: entry
+                for key, entry in self._entries.items()
+                if key != protect and not entry.pinned
+            }
+            if not candidates:
+                raise CacheError(
+                    "cannot satisfy capacity: nothing evictable"
+                )
+            victim_key = self.policy.select_victim(candidates)
+            victim = self._entries[victim_key]
+            self._drop(victim, InvalidationReason.EVICTED, origin="internal")
+            self.stats.evictions += 1
+
+    def _expected_chain_signature(self, reference: "DocumentReference"):
+        """The chain signature this reference's read path would record.
+
+        Computable from property metadata alone — no content fetch — so
+        a cache can predict whether another user's cached bytes apply.
+        """
+        chain = (
+            reference.base.stream_chain(EventType.GET_INPUT_STREAM)
+            + reference.stream_chain(EventType.GET_INPUT_STREAM)
+        )
+        return tuple(
+            signature
+            for signature in (p.transform_signature() for p in chain)
+            if signature is not None
+        )
+
+    def _try_adopt(
+        self, reference: "DocumentReference", key: EntryKey
+    ) -> CacheEntry | None:
+        """§3 signature adoption: reuse another user's identical version.
+
+        A candidate must be another user's valid entry for the same base
+        document whose recorded chain signature equals what this
+        reference's chain would produce; its verifiers are re-run (the
+        source could have changed) before the signature mapping is
+        established.
+        """
+        expected = self._expected_chain_signature(reference)
+        now = self.ctx.clock.now_ms
+        for candidate in list(self._entries.values()):
+            if candidate.document_id != key.document_id:
+                continue
+            if candidate.user_id == key.user_id:
+                continue
+            if candidate.chain_signature != expected:
+                continue
+            content = self.store.get(candidate.signature)
+            if self.use_verifiers and not self._candidate_fresh(
+                candidate, content, now
+            ):
+                continue
+            # Metadata exchange only: one cache-side hop, no content moves
+            # across the network (the bytes are already local).
+            for hop in self._topology.hit_path():
+                self.ctx.charge_hop(hop, 0)
+            self.ctx.charge(ADOPTION_COST_MS)
+            self.store.adopt(candidate.signature)
+            entry = CacheEntry(
+                key=key,
+                signature=candidate.signature,
+                size=candidate.size,
+                cacheability=candidate.cacheability,
+                verifiers=list(candidate.verifiers),
+                replacement_cost_ms=candidate.replacement_cost_ms,
+                chain_signature=expected,
+                reference_id=reference.reference_id,
+                created_at_ms=now,
+                last_access_ms=now,
+            )
+            entry.pinned = candidate.pinned
+            entry.policy_state["source_signature"] = (
+                candidate.policy_state.get("source_signature")
+            )
+            self._entries[key] = entry
+            self.policy.on_insert(entry)
+            self.stats.sibling_adoptions += 1
+            if self.install_notifiers:
+                installed = install_minimum_notifiers(
+                    reference, self.bus, self.cache_id
+                )
+                self.ctx.charge(NOTIFIER_INSTALL_COST_MS * len(installed))
+            return entry
+        return None
+
+    def _candidate_fresh(
+        self, candidate: CacheEntry, content: bytes, now_ms: float
+    ) -> bool:
+        """Re-run a candidate's verifiers before adopting its bytes."""
+        for verifier in candidate.verifiers:
+            self.stats.verifier_executions += 1
+            self.stats.verifier_cost_ms += verifier.cost_ms
+            self.ctx.charge(verifier.cost_ms)
+            try:
+                result = verifier.run(now_ms, content)
+            except Exception:
+                return False
+            if result.verdict is not Verdict.VALID:
+                return False
+        return True
+
+    # -- write path -----------------------------------------------------------
+
+    def write(self, reference: "DocumentReference", content: bytes) -> float:
+        """Write through (or into) the cache; returns elapsed virtual ms."""
+        key = self._key(reference)
+        started_ms = self.ctx.clock.now_ms
+        if self.write_mode is WriteMode.WRITE_THROUGH:
+            self.kernel.write(reference, content)
+            self.stats.writes_through += 1
+            self._invalidate_local(key, InvalidationReason.LOCAL_WRITE)
+        else:
+            # Write-back: buffer locally; only the local hop is paid now.
+            for hop in self._topology.hit_path():
+                self.ctx.charge_hop(hop, len(content))
+            self._dirty[key] = (reference, bytes(content))
+            # The cached read entry (if any) no longer reflects what this
+            # user would read — their buffered write supersedes it.
+            self._invalidate_local(key, InvalidationReason.LOCAL_WRITE)
+            self.stats.writes_backed += 1
+            self._forward_write(reference, len(content))
+        return self.ctx.clock.now_ms - started_ms
+
+    def flush(self, reference: "DocumentReference") -> bool:
+        """Push a buffered write-back through the full write path."""
+        key = self._key(reference)
+        buffered = self._dirty.pop(key, None)
+        if buffered is None:
+            return False
+        dirty_reference, content = buffered
+        self.kernel.write(dirty_reference, content)
+        self.stats.flushes += 1
+        return True
+
+    def flush_all(self) -> int:
+        """Flush every buffered write-back; returns how many flushed."""
+        flushed = 0
+        for key in list(self._dirty):
+            dirty_reference, _ = self._dirty[key]
+            if self.flush(dirty_reference):
+                flushed += 1
+        return flushed
+
+    @property
+    def dirty_count(self) -> int:
+        """Buffered (unflushed) write-backs."""
+        return len(self._dirty)
+
+    # -- event forwarding -------------------------------------------------------
+
+    def _forward_read(self, reference: "DocumentReference") -> None:
+        """Forward a cache-served read as READ_FORWARDED events.
+
+        "the cache will forward the operation, but the Placeless system
+        will not execute them fully, instead just use them to trigger
+        active properties that have registered for these events." (§3)
+        """
+        for hop in self._topology.notifier_path():
+            self.ctx.charge_hop(hop, 0)
+        event = reference.make_event(EventType.READ_FORWARDED)
+        reference.base.dispatcher.dispatch(event)
+        reference.dispatcher.dispatch(event)
+        self.stats.forwarded_reads += 1
+
+    def _forward_write(self, reference: "DocumentReference", size: int) -> None:
+        """Forward a buffered write as WRITE_FORWARDED events, if wanted."""
+        event = reference.make_event(
+            EventType.WRITE_FORWARDED, payload={"size": size}
+        )
+        base_wants = reference.base.dispatcher.has_listener(
+            EventType.WRITE_FORWARDED
+        )
+        ref_wants = reference.dispatcher.has_listener(EventType.WRITE_FORWARDED)
+        if not (base_wants or ref_wants):
+            return
+        for hop in self._topology.notifier_path():
+            self.ctx.charge_hop(hop, 0)
+        if base_wants:
+            reference.base.dispatcher.dispatch(event)
+        if ref_wants:
+            reference.dispatcher.dispatch(event)
+        self.stats.forwarded_writes += 1
+
+    # -- invalidation ------------------------------------------------------------
+
+    def apply_invalidation(self, invalidation: Invalidation) -> None:
+        """Sink for the invalidation bus (notifier deliveries)."""
+        self.stats.notifier_deliveries += 1
+        for key in list(self._entries):
+            if invalidation.matches(key.document_id, key.user_id):
+                self._drop(
+                    self._entries[key], invalidation.reason,
+                    origin=invalidation.origin,
+                )
+
+    def invalidate_document(
+        self, document_id: DocumentId, user_id: UserId | None = None
+    ) -> int:
+        """Explicitly drop entries for a document; returns count dropped."""
+        dropped = 0
+        invalidation = Invalidation(
+            reason=InvalidationReason.EXPLICIT,
+            document_id=document_id,
+            user_id=user_id,
+            at_ms=self.ctx.clock.now_ms,
+        )
+        for key in list(self._entries):
+            if invalidation.matches(key.document_id, key.user_id):
+                self._drop(self._entries[key], InvalidationReason.EXPLICIT)
+                dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (flushing nothing; dirty buffers survive)."""
+        for entry in list(self._entries.values()):
+            self._drop(entry, InvalidationReason.EXPLICIT)
+
+    def _invalidate_local(
+        self, key: EntryKey, reason: InvalidationReason
+    ) -> None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._drop(entry, reason, origin="internal")
+
+    def _drop(
+        self,
+        entry: CacheEntry,
+        reason: InvalidationReason,
+        origin: str = "internal",
+    ) -> None:
+        """Invalidate and remove an entry, releasing its content bytes."""
+        entry.invalidate(
+            Invalidation(
+                reason=reason,
+                document_id=entry.document_id,
+                user_id=entry.user_id,
+                at_ms=self.ctx.clock.now_ms,
+                origin=origin,
+            )
+        )
+        self.stats.record_invalidation(reason)
+        self._remove_entry(entry)
+
+    def _remove_entry(self, entry: CacheEntry) -> None:
+        if self._entries.get(entry.key) is entry:
+            del self._entries[entry.key]
+            self.store.release(entry.signature)
+            self.policy.on_remove(entry)
+
+    def _replace_content(self, entry: CacheEntry, content: bytes) -> None:
+        """Swap an entry's bytes (verifier REVALIDATED patching)."""
+        self.store.release(entry.signature)
+        entry.signature = self.store.put(content)
+        entry.size = len(content)
+        self._evict_to_capacity(protect=entry.key)
+
+    def _is_stale(self, reference: "DocumentReference", entry: CacheEntry) -> bool:
+        """Ground-truth staleness: raw source changed since fill.
+
+        Uses :meth:`BitProvider.peek`, which charges nothing — this is
+        simulation-side omniscience, not something a real cache could do.
+        """
+        recorded = entry.policy_state.get("source_signature")
+        if recorded is None:
+            return False
+        return sign(reference.base.provider.peek()) != recorded

@@ -1,0 +1,263 @@
+"""Notifiers: active properties that push invalidations to caches.
+
+"Notifiers are active properties themselves that are used to invalidate
+cache entries resulting from changes through the Placeless system.
+Notifiers send a notification to each of the affected caches to
+invalidate the corresponding entries. ... Notifiers, in fact, integrate
+the notion of semantic validators and callbacks into one mechanism." (§3)
+
+Pieces:
+
+* :class:`InvalidationBus` — the delivery fabric between the Placeless
+  servers (where notifiers execute) and the caches; charges the
+  notifier-path network hops and counts deliveries, which is the
+  "load to the Placeless system" side of the A1 trade-off.
+* :class:`NotifierProperty` — a configurable notifier: which events it
+  watches, how each maps to an invalidation reason, an optional semantic
+  *predicate* (the semantic-callback integration), and the entry scope it
+  invalidates (one user's version or every user's).
+* :func:`install_minimum_notifiers` — the "minimum set of notifiers"
+  whose creation cost Table 1's miss column includes: a base notifier for
+  writes by other users, a base notifier for content-affecting property
+  changes, and a reference notifier for the user's personal property
+  changes (§3's worked example, verbatim).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.cache.consistency import Invalidation, InvalidationReason
+from repro.errors import NotifierError
+from repro.events.types import Event, EventType
+from repro.ids import CacheId, UserId
+from repro.placeless.properties import ActiveProperty
+from repro.sim.context import SimContext
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.placeless.reference import DocumentReference
+
+__all__ = [
+    "InvalidationBus",
+    "NotifierProperty",
+    "install_minimum_notifiers",
+    "DEFAULT_REASON_MAP",
+]
+
+#: How watched events map to invalidation reasons by default.
+DEFAULT_REASON_MAP: dict[EventType, InvalidationReason] = {
+    EventType.CONTENT_UPDATED: InvalidationReason.SOURCE_UPDATED_IN_BAND,
+    EventType.GET_OUTPUT_STREAM: InvalidationReason.OPENED_FOR_WRITE,
+    EventType.SET_PROPERTY: InvalidationReason.PROPERTY_ADDED,
+    EventType.REMOVE_PROPERTY: InvalidationReason.PROPERTY_REMOVED,
+    EventType.MODIFY_PROPERTY: InvalidationReason.PROPERTY_MODIFIED,
+    EventType.REORDER_PROPERTIES: InvalidationReason.PROPERTY_REORDERED,
+    EventType.TIMER: InvalidationReason.EXTERNAL_CHANGED,
+}
+
+
+@dataclass
+class BusStats:
+    """Delivery-side counters (the notifier load on the system)."""
+
+    deliveries: int = 0
+    delivery_cost_ms: float = 0.0
+    dropped: int = 0
+
+
+class InvalidationBus:
+    """Routes invalidations from notifier properties to registered caches."""
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        self.stats = BusStats()
+        self._sinks: dict[CacheId, Callable[[Invalidation], None]] = {}
+
+    def register(
+        self, cache_id: CacheId, sink: Callable[[Invalidation], None]
+    ) -> None:
+        """Register a cache's invalidation sink under its id."""
+        self._sinks[cache_id] = sink
+
+    def unregister(self, cache_id: CacheId) -> None:
+        """Remove a cache (e.g. it shut down); deliveries to it drop."""
+        self._sinks.pop(cache_id, None)
+
+    def deliver(self, cache_id: CacheId, invalidation: Invalidation) -> None:
+        """Deliver one invalidation, charging the notifier network path."""
+        sink = self._sinks.get(cache_id)
+        if sink is None:
+            self.stats.dropped += 1
+            return
+        cost = 0.0
+        for hop in self.ctx.topology.notifier_path():
+            cost += self.ctx.charge_hop(hop, 0)
+        self.stats.deliveries += 1
+        self.stats.delivery_cost_ms += cost
+        sink(invalidation)
+
+
+class NotifierProperty(ActiveProperty):
+    """A notifier: watches events, pushes invalidations to one cache.
+
+    Parameters
+    ----------
+    bus, cache_id:
+        Where invalidations are delivered.
+    watch:
+        The event types of interest.
+    scope_user:
+        ``None`` invalidates every user's entry for the document (the
+        change is universal); a specific user invalidates only that
+        user's personalized version.
+    predicate:
+        Optional semantic filter — "semantic callbacks are triggered only
+        if some predicate is satisfied" — receiving the event; return
+        ``False`` to suppress the notification.
+    reason_map:
+        Override the event→reason mapping.
+    """
+
+    #: Notifiers are cache infrastructure: their own attachment/removal
+    #: must not trigger other notifiers.
+    is_infrastructure = True
+    execution_cost_ms = 0.05
+
+    def __init__(
+        self,
+        bus: InvalidationBus,
+        cache_id: CacheId,
+        watch: set[EventType],
+        scope_user: UserId | None = None,
+        predicate: Callable[[Event], bool] | None = None,
+        reason_map: dict[EventType, InvalidationReason] | None = None,
+        name: str = "notifier",
+    ) -> None:
+        super().__init__(name)
+        if not watch:
+            raise NotifierError("notifier must watch at least one event type")
+        self.bus = bus
+        self.cache_id = cache_id
+        self.watch = set(watch)
+        self.scope_user = scope_user
+        self.predicate = predicate
+        self.reason_map = dict(DEFAULT_REASON_MAP)
+        if reason_map:
+            self.reason_map.update(reason_map)
+        self.notifications_sent = 0
+        self.events_filtered = 0
+
+    def events_of_interest(self) -> set[EventType]:
+        return set(self.watch)
+
+    def handle(self, event: Event) -> Any:
+        if self._suppressed(event):
+            self.events_filtered += 1
+            return None
+        reason = self.reason_map.get(
+            event.type, InvalidationReason.EXTERNAL_CHANGED
+        )
+        invalidation = Invalidation(
+            reason=reason,
+            document_id=event.document_id,
+            user_id=self.scope_user,
+            at_ms=event.at_ms,
+            origin="notifier",
+        )
+        self.notifications_sent += 1
+        self.bus.deliver(self.cache_id, invalidation)
+        return invalidation
+
+    def _suppressed(self, event: Event) -> bool:
+        # Never react to cache-infrastructure properties (avoids notifier
+        # installation cascading into invalidation storms).
+        if event.payload.get("infrastructure"):
+            return True
+        # Property additions/removals only matter when the property
+        # "could modify the content" (§3): static labels don't invalidate.
+        if event.type in (EventType.SET_PROPERTY, EventType.REMOVE_PROPERTY):
+            if not event.payload.get("transforms_reads", False):
+                return True
+        if event.type is EventType.MODIFY_PROPERTY:
+            if not event.payload.get("transforms_reads", False):
+                return True
+        if self.predicate is not None and not self.predicate(event):
+            return True
+        return False
+
+
+def install_minimum_notifiers(
+    reference: "DocumentReference",
+    bus: InvalidationBus,
+    cache_id: CacheId,
+) -> list[NotifierProperty]:
+    """Attach §3's minimum notifier set for one user's cached document.
+
+    Mirrors the paper's worked example: "a notifier property is attached
+    to the base document to invalidate the cache if the file is opened
+    for writing by another user.  Another notifier at the base tracks any
+    additions or deletions of active properties that could modify the
+    content.  At [the user's] document reference, a third notifier is
+    attached to watch for active property additions, deletions and for
+    changes in [their personal properties]."
+
+    Plus the in-band content-update watch the dual update model needs.
+    Idempotent per (cache, user, document): already-installed notifiers
+    are not duplicated.  Returns the notifiers newly attached.
+    """
+    base = reference.base
+    owner = reference.owner
+    installed: list[NotifierProperty] = []
+
+    write_watch_name = f"notify-writes:{cache_id.value}:{owner.value}"
+    if not base.has_property(write_watch_name):
+        notifier = NotifierProperty(
+            bus,
+            cache_id,
+            watch={EventType.GET_OUTPUT_STREAM, EventType.CONTENT_UPDATED},
+            scope_user=owner,
+            # "if the file is opened for writing by another user" — the
+            # user's own writes are handled locally by their cache.
+            predicate=lambda event: event.user_id != owner,
+            name=write_watch_name,
+        )
+        base.attach(notifier, acting_user=owner)
+        installed.append(notifier)
+
+    base_props_name = f"notify-base-properties:{cache_id.value}"
+    if not base.has_property(base_props_name):
+        notifier = NotifierProperty(
+            bus,
+            cache_id,
+            watch={
+                EventType.SET_PROPERTY,
+                EventType.REMOVE_PROPERTY,
+                EventType.MODIFY_PROPERTY,
+                EventType.REORDER_PROPERTIES,
+            },
+            scope_user=None,  # universal property changes affect everyone
+            name=base_props_name,
+        )
+        base.attach(notifier, acting_user=owner)
+        installed.append(notifier)
+
+    ref_props_name = f"notify-ref-properties:{cache_id.value}"
+    if not reference.has_property(ref_props_name):
+        notifier = NotifierProperty(
+            bus,
+            cache_id,
+            watch={
+                EventType.SET_PROPERTY,
+                EventType.REMOVE_PROPERTY,
+                EventType.MODIFY_PROPERTY,
+                EventType.REORDER_PROPERTIES,
+            },
+            scope_user=owner,  # personal properties affect only this user
+            name=ref_props_name,
+        )
+        reference.attach(notifier, acting_user=owner)
+        installed.append(notifier)
+
+    return installed

@@ -1,0 +1,118 @@
+"""Cache statistics, itemised the way the paper's trade-offs need.
+
+"In general, verifier execution trades-off cache consistency with cache
+access time latencies, while notifier execution adds load to the
+Placeless system." (§3)  The A1 bench therefore needs, per run: hit/miss
+counts and latencies, verifier executions and their total cost, notifier
+deliveries (server load), invalidations attributed per reason, and
+staleness (hits that served out-of-date bytes, measurable only in
+simulation where ground truth is known).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.cache.consistency import InvalidationReason
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Reads that could not be cached (UNCACHEABLE vote) — always misses.
+    uncacheable_reads: int = 0
+    #: Hits whose verifier invalidated the entry (counted as misses too).
+    verifier_invalidations: int = 0
+    #: Hits whose verifier patched the entry in place (REVALIDATED).
+    verifier_revalidations: int = 0
+    verifier_executions: int = 0
+    verifier_cost_ms: float = 0.0
+    notifier_deliveries: int = 0
+    forwarded_reads: int = 0
+    forwarded_writes: int = 0
+    evictions: int = 0
+    writes_through: int = 0
+    writes_backed: int = 0
+    flushes: int = 0
+    #: Collection-prefetch requests accepted / fills actually performed.
+    prefetch_requests: int = 0
+    prefetch_fills: int = 0
+    #: Hits served from entries that a prefetch (not a demand read) filled.
+    prefetched_hits: int = 0
+    #: Misses served by adopting another user's identical cached version
+    #: (§3's signature-sharing optimization) instead of a full read.
+    sibling_adoptions: int = 0
+    #: Stale bytes served because the refetch failed (availability mode).
+    stale_served_on_error: int = 0
+    bytes_served_from_cache: int = 0
+    bytes_filled: int = 0
+    hit_latency_ms: float = 0.0
+    miss_latency_ms: float = 0.0
+    #: Hits that served bytes differing from what a fresh read would have
+    #: produced at that instant (ground-truth staleness; simulation-only).
+    stale_hits: int = 0
+    invalidations: Counter = field(default_factory=Counter)
+
+    def record_invalidation(self, reason: InvalidationReason) -> None:
+        """Attribute one invalidation to its reason."""
+        self.invalidations[reason] += 1
+
+    @property
+    def lookups(self) -> int:
+        """Total read attempts through the cache."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 when no lookups)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    @property
+    def mean_hit_latency_ms(self) -> float:
+        """Average virtual latency of a hit (0.0 when no hits)."""
+        return self.hit_latency_ms / self.hits if self.hits else 0.0
+
+    @property
+    def mean_miss_latency_ms(self) -> float:
+        """Average virtual latency of a miss (0.0 when no misses)."""
+        return self.miss_latency_ms / self.misses if self.misses else 0.0
+
+    @property
+    def staleness_ratio(self) -> float:
+        """Stale hits over hits (0.0 when no hits)."""
+        return self.stale_hits / self.hits if self.hits else 0.0
+
+    def invalidations_by_class(self) -> Counter:
+        """Invalidations aggregated to the paper's four classes."""
+        by_class: Counter = Counter()
+        for reason, count in self.invalidations.items():
+            by_class[reason.invalidation_class] += count
+        return by_class
+
+    @classmethod
+    def merged(cls, parts: "list[CacheStats]") -> "CacheStats":
+        """Fleet-wide aggregate of several caches' statistics.
+
+        Counters and latency sums add; the derived ratios then reflect
+        the whole deployment (used by placement experiments to report
+        across per-user application-level caches).
+        """
+        total = cls()
+        for part in parts:
+            for field_name, value in vars(part).items():
+                if field_name == "invalidations":
+                    total.invalidations.update(value)
+                else:
+                    setattr(
+                        total, field_name,
+                        getattr(total, field_name) + value,
+                    )
+        return total

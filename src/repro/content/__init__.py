@@ -1,0 +1,12 @@
+"""Content signatures and the content-addressed store.
+
+Section 3 (Cache Management): cache entries map a ``(document, user)``
+pair to a *content signature* ("e.g., MD5 hash") which in turn maps to the
+actual content, so identical transformed content is stored once even when
+several users' entries point at it.
+"""
+
+from repro.content.signature import ContentSignature, sign
+from repro.content.store import ContentStore, StoredContent
+
+__all__ = ["ContentSignature", "sign", "ContentStore", "StoredContent"]

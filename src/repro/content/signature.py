@@ -1,0 +1,33 @@
+"""MD5 content signatures.
+
+The paper proposes MD5 hashes as the content signatures cache entries
+indirect through; we use MD5 for fidelity (the digest choice only needs
+to be collision-resistant enough to identify identical bytes in a cache,
+not cryptographically current).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import NamedTuple
+
+__all__ = ["ContentSignature", "sign"]
+
+
+class ContentSignature(NamedTuple):
+    """An MD5 digest identifying a particular byte string."""
+
+    digest: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"md5:{self.digest}"
+
+    @property
+    def short(self) -> str:
+        """First 8 hex digits, for human-readable cache dumps."""
+        return self.digest[:8]
+
+
+def sign(content: bytes) -> ContentSignature:
+    """Compute the :class:`ContentSignature` of *content*."""
+    return ContentSignature(hashlib.md5(content).hexdigest())

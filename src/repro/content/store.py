@@ -1,0 +1,102 @@
+"""Reference-counted content-addressed store backing the cache.
+
+The cache's per-(document, user) entries hold a
+:class:`~repro.content.signature.ContentSignature`; the bytes themselves
+live here, stored once per distinct signature.  "On a cache miss for an
+already cached version of the same content, only the document and user
+identifier mapping to the content signature needs to be established" (§3)
+— :meth:`ContentStore.put` of already-present bytes only bumps a
+reference count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.content.signature import ContentSignature, sign
+from repro.errors import CacheEntryNotFoundError
+
+__all__ = ["StoredContent", "ContentStore"]
+
+
+@dataclass
+class StoredContent:
+    """One distinct byte string held by the store."""
+
+    signature: ContentSignature
+    content: bytes
+    refcount: int = 0
+
+    @property
+    def size(self) -> int:
+        """Size of the stored bytes."""
+        return len(self.content)
+
+
+class ContentStore:
+    """Deduplicating byte store with reference counting.
+
+    ``logical_bytes`` counts what a store *without* signature indirection
+    would hold (one copy per referencing entry); ``physical_bytes`` counts
+    what this store actually holds.  The A3 sharing benchmark reports the
+    ratio.
+    """
+
+    def __init__(self) -> None:
+        self._by_signature: dict[ContentSignature, StoredContent] = {}
+
+    def put(self, content: bytes) -> ContentSignature:
+        """Store *content* (or bump its refcount) and return its signature."""
+        signature = sign(content)
+        stored = self._by_signature.get(signature)
+        if stored is None:
+            stored = StoredContent(signature=signature, content=bytes(content))
+            self._by_signature[signature] = stored
+        stored.refcount += 1
+        return signature
+
+    def adopt(self, signature: ContentSignature) -> None:
+        """Add a reference to already-stored content (signature-only hit)."""
+        self._entry(signature).refcount += 1
+
+    def get(self, signature: ContentSignature) -> bytes:
+        """Bytes for *signature*; raises if not present."""
+        return self._entry(signature).content
+
+    def size_of(self, signature: ContentSignature) -> int:
+        """Size in bytes of the content behind *signature*."""
+        return self._entry(signature).size
+
+    def refcount(self, signature: ContentSignature) -> int:
+        """Current reference count of *signature* (0 if absent)."""
+        stored = self._by_signature.get(signature)
+        return 0 if stored is None else stored.refcount
+
+    def release(self, signature: ContentSignature) -> None:
+        """Drop one reference; content is evicted at refcount zero."""
+        stored = self._entry(signature)
+        stored.refcount -= 1
+        if stored.refcount <= 0:
+            del self._by_signature[signature]
+
+    def __contains__(self, signature: ContentSignature) -> bool:
+        return signature in self._by_signature
+
+    def __len__(self) -> int:
+        return len(self._by_signature)
+
+    @property
+    def physical_bytes(self) -> int:
+        """Bytes actually held (one copy per distinct signature)."""
+        return sum(s.size for s in self._by_signature.values())
+
+    @property
+    def logical_bytes(self) -> int:
+        """Bytes a non-deduplicating store would hold (refcount-weighted)."""
+        return sum(s.size * s.refcount for s in self._by_signature.values())
+
+    def _entry(self, signature: ContentSignature) -> StoredContent:
+        try:
+            return self._by_signature[signature]
+        except KeyError:
+            raise CacheEntryNotFoundError(signature) from None

@@ -1,0 +1,148 @@
+"""Exception hierarchy for the Placeless Documents reproduction.
+
+Every error raised by the library derives from :class:`PlacelessError` so
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate the common failure modes the paper's
+design implies (unknown documents, revoked references, property faults,
+cache-consistency violations, provider I/O problems).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PlacelessError",
+    "DocumentNotFoundError",
+    "ReferenceNotFoundError",
+    "SpaceNotFoundError",
+    "PropertyError",
+    "PropertyNotFoundError",
+    "PropertyOrderError",
+    "DuplicatePropertyError",
+    "ProviderError",
+    "ContentUnavailableError",
+    "RepositoryOfflineError",
+    "StreamError",
+    "StreamClosedError",
+    "EventError",
+    "UnknownEventError",
+    "CacheError",
+    "CacheEntryNotFoundError",
+    "UncacheableContentError",
+    "CacheCapacityError",
+    "VerifierError",
+    "NotifierError",
+    "PermissionDeniedError",
+    "NFSError",
+    "BadFileHandleError",
+    "ClockError",
+    "WorkloadError",
+]
+
+
+class PlacelessError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DocumentNotFoundError(PlacelessError, KeyError):
+    """A base document id did not resolve to a live base document."""
+
+
+class ReferenceNotFoundError(PlacelessError, KeyError):
+    """A document reference id did not resolve within a document space."""
+
+
+class SpaceNotFoundError(PlacelessError, KeyError):
+    """A user's document space is not registered with the kernel."""
+
+
+class PropertyError(PlacelessError):
+    """Base class for property-related failures."""
+
+
+class PropertyNotFoundError(PropertyError, KeyError):
+    """Lookup of a property by name/id failed."""
+
+
+class PropertyOrderError(PropertyError):
+    """An invalid reordering of a property chain was requested."""
+
+
+class DuplicatePropertyError(PropertyError):
+    """A property with the same id is already attached to the document."""
+
+
+class ProviderError(PlacelessError):
+    """Base class for bit-provider failures."""
+
+
+class ContentUnavailableError(ProviderError):
+    """The bit-provider could not produce content for the document."""
+
+
+class RepositoryOfflineError(ProviderError):
+    """The simulated repository is offline / unreachable."""
+
+
+class StreamError(PlacelessError):
+    """Base class for stream failures."""
+
+
+class StreamClosedError(StreamError, ValueError):
+    """An operation was attempted on a closed stream."""
+
+
+class EventError(PlacelessError):
+    """Base class for event-dispatch failures."""
+
+
+class UnknownEventError(EventError, KeyError):
+    """An event type outside the registered vocabulary was raised."""
+
+
+class CacheError(PlacelessError):
+    """Base class for cache failures."""
+
+
+class CacheEntryNotFoundError(CacheError, KeyError):
+    """A (document, user) pair has no entry in the cache."""
+
+
+class UncacheableContentError(CacheError):
+    """An attempt was made to insert content voted UNCACHEABLE."""
+
+
+class CacheCapacityError(CacheError):
+    """An object larger than the entire cache capacity was inserted."""
+
+
+class VerifierError(CacheError):
+    """A verifier failed while validating a cache entry.
+
+    The paper's design treats a *failing* verifier (one that raises, as
+    opposed to one that returns ``False``) as an invalid entry, so the
+    manager converts this error into a conservative invalidation.
+    """
+
+
+class NotifierError(CacheError):
+    """A notifier could not deliver an invalidation."""
+
+
+class PermissionDeniedError(PlacelessError):
+    """The acting user does not own the reference or base document."""
+
+
+class NFSError(PlacelessError):
+    """Base class for the NFS translation-layer failures."""
+
+
+class BadFileHandleError(NFSError, KeyError):
+    """A file handle is unknown or already closed."""
+
+
+class ClockError(PlacelessError):
+    """Misuse of the virtual clock (e.g. scheduling in the past)."""
+
+
+class WorkloadError(PlacelessError):
+    """A workload/trace generator was configured inconsistently."""

@@ -1,0 +1,122 @@
+"""Per-attachment-point event registration and ordered dispatch.
+
+Each base document and each document reference owns one
+:class:`EventDispatcher`.  When an event occurs, "all registered
+properties on that document are invoked" (§2) — in the order the
+properties are attached, because §3 makes property *order* a consistency
+dimension (spell-check before vs. after translation).
+
+The dispatcher does not know about base-vs-reference ordering; the
+document objects compose their two dispatchers in the paper's order
+(reads: base first, then reference; writes: reference first, then base).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import UnknownEventError
+from repro.events.types import Event, EventType
+from repro.ids import PropertyId
+
+__all__ = ["Registration", "EventDispatcher"]
+
+Handler = Callable[[Event], Any]
+
+
+@dataclass
+class Registration:
+    """One property's interest in one event type."""
+
+    property_id: PropertyId
+    event_type: EventType
+    handler: Handler
+    active: bool = True
+
+    def cancel(self) -> None:
+        """Stop this registration from receiving further events."""
+        self.active = False
+
+
+class EventDispatcher:
+    """Ordered event registration table for one attachment point.
+
+    Registrations for each event type are kept in a list whose order
+    follows property attachment order; :meth:`reorder` re-sorts every list
+    when the owning document's property chain is permuted.
+    """
+
+    def __init__(self) -> None:
+        self._registrations: dict[EventType, list[Registration]] = {
+            event_type: [] for event_type in EventType
+        }
+
+    def register(
+        self,
+        property_id: PropertyId,
+        event_type: EventType,
+        handler: Handler,
+    ) -> Registration:
+        """Register *handler* for *event_type* on behalf of a property."""
+        if event_type not in self._registrations:
+            raise UnknownEventError(event_type)
+        registration = Registration(property_id, event_type, handler)
+        self._registrations[event_type].append(registration)
+        return registration
+
+    def unregister_property(self, property_id: PropertyId) -> int:
+        """Drop every registration owned by *property_id*.
+
+        Returns the number of registrations removed.  Called when a
+        property is detached from its document.
+        """
+        removed = 0
+        for event_type, registrations in self._registrations.items():
+            kept = [r for r in registrations if r.property_id != property_id]
+            removed += len(registrations) - len(kept)
+            self._registrations[event_type] = kept
+        return removed
+
+    def registered_properties(self, event_type: EventType) -> list[PropertyId]:
+        """Property ids with live registrations for *event_type*, in order."""
+        return [
+            r.property_id
+            for r in self._registrations[event_type]
+            if r.active
+        ]
+
+    def has_listener(self, event_type: EventType) -> bool:
+        """True if any live registration exists for *event_type*."""
+        return any(r.active for r in self._registrations[event_type])
+
+    def reorder(self, chain_order: list[PropertyId]) -> None:
+        """Re-sort registrations to follow a new property chain order.
+
+        Properties absent from *chain_order* (e.g. infrastructure handlers
+        registered by the system itself) keep their relative order and sort
+        after the ordered chain, preserving the invariant that user-visible
+        transformations happen in chain order.
+        """
+        rank = {pid: index for index, pid in enumerate(chain_order)}
+        fallback = len(rank)
+        for event_type, registrations in self._registrations.items():
+            self._registrations[event_type] = sorted(
+                registrations,
+                key=lambda r: rank.get(r.property_id, fallback),
+            )
+
+    def dispatch(self, event: Event) -> list[Any]:
+        """Invoke every live handler registered for the event's type.
+
+        Handlers run in registration (chain) order; each handler's return
+        value is collected.  Handlers are invoked against a snapshot of the
+        registration list, so a handler that registers or cancels
+        registrations affects only future dispatches.
+        """
+        results: list[Any] = []
+        for registration in list(self._registrations[event.type]):
+            if not registration.active:
+                continue
+            results.append(registration.handler(event))
+        return results

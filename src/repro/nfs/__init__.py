@@ -1,0 +1,16 @@
+"""NFS translation layer for off-the-shelf applications.
+
+"Read and write operations from off-the-shelf applications are translated
+into Placeless I/O operations by a NFS server layer.  Newly developed
+applications invoke the Placeless API directly." (§2, footnote 2)
+
+:class:`NFSServer` exports per-user mounts; a :class:`NFSMount` offers the
+file-ish surface (open/read/write/close/listdir) an application like
+MS-Word would use, translating each operation into Placeless read/write
+paths — optionally through a :class:`~repro.cache.manager.DocumentCache`
+interposed "between the application and the Placeless system" (§3).
+"""
+
+from repro.nfs.server import FileHandle, NFSMount, NFSServer
+
+__all__ = ["NFSServer", "NFSMount", "FileHandle"]

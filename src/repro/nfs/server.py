@@ -1,0 +1,256 @@
+"""The NFS-style façade translating file operations to Placeless I/O.
+
+The façade exposes a deliberately file-like API — ``open`` returning a
+handle, positional ``read``/``write`` against the handle, ``close`` —
+because that is what the paper's prototype offered legacy applications.
+Under the hood:
+
+* opening for read runs the full Placeless read path (or a cache read
+  when a cache is interposed) and serves the resulting bytes;
+* opening for write opens the Placeless write path; bytes written stream
+  into the custom-output-stream chain and reach the bit-provider when the
+  handle is closed — matching the MS-Word save flow of Figure 2.
+
+Each user gets their own mount, whose namespace binds paths to that
+user's document references.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.cache.manager import DocumentCache
+from repro.errors import BadFileHandleError, NFSError
+from repro.ids import UserId
+from repro.placeless.kernel import PlacelessKernel
+from repro.placeless.reference import DocumentReference
+from repro.streams.base import BytesInputStream, InputStream, OutputStream
+
+__all__ = ["OpenMode", "FileHandle", "NFSMount", "NFSServer"]
+
+
+class OpenMode(enum.Enum):
+    """Supported open modes."""
+
+    READ = "r"
+    WRITE = "w"
+
+
+@dataclass
+class FileHandle:
+    """One open file: the stream plus bookkeeping."""
+
+    fh: int
+    path: str
+    mode: OpenMode
+    reference: DocumentReference
+    input_stream: InputStream | None = None
+    output_stream: OutputStream | None = None
+    bytes_read: int = 0
+    bytes_written: int = 0
+    closed: bool = False
+
+
+class NFSMount:
+    """One user's view of the Placeless namespace through the NFS layer."""
+
+    def __init__(
+        self,
+        server: "NFSServer",
+        user: UserId,
+    ) -> None:
+        self.server = server
+        self.user = user
+        self._bindings: dict[str, DocumentReference] = {}
+        self._handles: dict[int, FileHandle] = {}
+        self._fh_counter = itertools.count(3)  # 0-2 "reserved", unix-style
+
+    # -- namespace ------------------------------------------------------------
+
+    def bind(self, path: str, reference: DocumentReference) -> None:
+        """Expose *reference* at *path* in this mount."""
+        if reference.owner != self.user:
+            raise NFSError(
+                f"cannot bind {reference.reference_id}: owned by "
+                f"{reference.owner}, mount belongs to {self.user}"
+            )
+        self._bindings[path] = reference
+
+    def unbind(self, path: str) -> None:
+        """Remove a path binding (open handles stay usable)."""
+        if path not in self._bindings:
+            raise NFSError(f"not bound: {path}")
+        del self._bindings[path]
+
+    def listdir(self) -> list[str]:
+        """All bound paths, sorted."""
+        return sorted(self._bindings)
+
+    def resolve(self, path: str) -> DocumentReference:
+        """The reference bound at *path*."""
+        try:
+            return self._bindings[path]
+        except KeyError:
+            raise NFSError(f"no such file: {path}") from None
+
+    def stat(self, path: str) -> dict:
+        """File-attribute view of a bound document.
+
+        NFS GETATTR equivalent: reports the raw source size (simulation-
+        side peek — the transformed size is only known after a read),
+        the document/reference ids, and the attached property names.
+        """
+        reference = self.resolve(path)
+        return {
+            "path": path,
+            "document_id": reference.base.document_id,
+            "reference_id": reference.reference_id,
+            "owner": reference.owner,
+            "source_size": len(reference.base.provider.peek()),
+            "properties": [p.name for p in reference.properties],
+            "universal_properties": [
+                p.name for p in reference.base.properties
+            ],
+        }
+
+    # -- file operations -----------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r") -> int:
+        """Open *path*; returns a file handle number.
+
+        ``"r"`` runs the read path now (through the cache when one is
+        interposed) and lets ``read`` consume the result; ``"w"`` opens
+        the write path, whose property chain sees the content as it is
+        written and which commits to the repository on ``close``.
+        """
+        reference = self.resolve(path)
+        try:
+            open_mode = OpenMode(mode)
+        except ValueError:
+            raise NFSError(f"unsupported mode: {mode!r}") from None
+        fh = next(self._fh_counter)
+        handle = FileHandle(fh=fh, path=path, mode=open_mode, reference=reference)
+        if open_mode is OpenMode.READ:
+            handle.input_stream = self._open_read(reference)
+        else:
+            handle.output_stream = self._open_write(reference)
+        self._handles[fh] = handle
+        return fh
+
+    def _open_read(self, reference: DocumentReference) -> InputStream:
+        cache = self.server.cache
+        if cache is not None:
+            outcome = cache.read(reference)
+            return BytesInputStream(outcome.content)
+        return reference.open_input().stream
+
+    def _open_write(self, reference: DocumentReference) -> OutputStream:
+        cache = self.server.cache
+        if cache is not None:
+            # Writes through a cache are accumulated and pushed via the
+            # cache's write mode at close; model with a buffer stream.
+            return _CacheWriteStream(cache, reference)
+        return reference.open_output().stream
+
+    def read(self, fh: int, size: int = -1) -> bytes:
+        """Read up to *size* bytes from an open read handle."""
+        handle = self._handle(fh)
+        if handle.input_stream is None:
+            raise NFSError(f"fh {fh} not open for reading")
+        data = handle.input_stream.read(size)
+        handle.bytes_read += len(data)
+        return data
+
+    def write(self, fh: int, data: bytes) -> int:
+        """Write *data* to an open write handle."""
+        handle = self._handle(fh)
+        if handle.output_stream is None:
+            raise NFSError(f"fh {fh} not open for writing")
+        written = handle.output_stream.write(data)
+        handle.bytes_written += written
+        return written
+
+    def close(self, fh: int) -> None:
+        """Close the handle, committing writes to the repository."""
+        handle = self._handle(fh)
+        if handle.input_stream is not None:
+            handle.input_stream.close()
+        if handle.output_stream is not None:
+            handle.output_stream.close()
+        handle.closed = True
+        del self._handles[fh]
+
+    def read_file(self, path: str) -> bytes:
+        """Convenience: open/read-all/close."""
+        fh = self.open(path, "r")
+        try:
+            return self.read(fh, -1)
+        finally:
+            self.close(fh)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Convenience: open/write/close."""
+        fh = self.open(path, "w")
+        try:
+            self.write(fh, data)
+        finally:
+            self.close(fh)
+
+    def open_handles(self) -> list[FileHandle]:
+        """Currently open handles."""
+        return list(self._handles.values())
+
+    def _handle(self, fh: int) -> FileHandle:
+        try:
+            return self._handles[fh]
+        except KeyError:
+            raise BadFileHandleError(fh) from None
+
+
+class _CacheWriteStream(OutputStream):
+    """Accumulates written bytes and pushes them through the cache at close."""
+
+    def __init__(self, cache: DocumentCache, reference: DocumentReference) -> None:
+        super().__init__()
+        self._cache = cache
+        self._reference = reference
+        self._pieces: list[bytes] = []
+
+    def _write_chunk(self, data: bytes) -> None:
+        self._pieces.append(data)
+
+    def _on_close(self) -> None:
+        self._cache.write(self._reference, b"".join(self._pieces))
+
+
+class NFSServer:
+    """The NFS server layer: one mount per user, optional shared cache.
+
+    The *cache* models §4's "application-level cache (running on the same
+    machine as the application)" when the topology's placement says so,
+    or the server co-located cache otherwise.
+    """
+
+    def __init__(
+        self,
+        kernel: PlacelessKernel,
+        cache: DocumentCache | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.cache = cache
+        self._mounts: dict[UserId, NFSMount] = {}
+
+    def mount(self, user: UserId) -> NFSMount:
+        """Get (or create) *user*'s mount."""
+        self.kernel.space(user)  # validate the user exists
+        existing = self._mounts.get(user)
+        if existing is None:
+            existing = NFSMount(self, user)
+            self._mounts[user] = existing
+        return existing
+
+    def mounts(self) -> list[NFSMount]:
+        """All live mounts."""
+        return list(self._mounts.values())

@@ -1,0 +1,52 @@
+"""The Placeless Documents middleware core.
+
+Implements §2 of the paper: base documents holding the link to content
+(via a bit-provider), per-user document references, universal and
+personal properties (static or active), per-user document spaces, and the
+kernel that routes read/write operations along the paper's paths —
+
+* read path: bit-provider → base-document properties → reference
+  properties → application;
+* write path: application → reference properties → base-document
+  properties → bit-provider.
+"""
+
+from repro.placeless.collection import DocumentCollection
+from repro.placeless.document import BaseDocument, ReadResult, WriteResult
+from repro.placeless.kernel import PlacelessKernel
+from repro.placeless.query import (
+    HasProperty,
+    IsActive,
+    NameMatches,
+    Predicate,
+    PropertyValue,
+    Query,
+)
+from repro.placeless.properties import (
+    ActiveProperty,
+    AttachmentSite,
+    Property,
+    StaticProperty,
+)
+from repro.placeless.reference import DocumentReference
+from repro.placeless.space import DocumentSpace
+
+__all__ = [
+    "Property",
+    "StaticProperty",
+    "ActiveProperty",
+    "AttachmentSite",
+    "BaseDocument",
+    "ReadResult",
+    "WriteResult",
+    "DocumentReference",
+    "DocumentSpace",
+    "DocumentCollection",
+    "PlacelessKernel",
+    "Query",
+    "HasProperty",
+    "PropertyValue",
+    "NameMatches",
+    "IsActive",
+    "Predicate",
+]

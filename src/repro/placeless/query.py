@@ -1,0 +1,164 @@
+"""Property-based document selection — the Placeless organizing idiom.
+
+Placeless's premise is that properties *replace places*: users find
+documents by what is stated about them ("budget related", "1999 workshop
+submission"), not by where they live.  This module provides the query
+combinators that make static properties useful: predicates over a
+reference's visible properties (personal ones plus the base document's
+universal ones), composable with ``&``, ``|`` and ``~``, evaluated
+against a document space.
+
+Queries also feed collections
+(:meth:`~repro.placeless.collection.DocumentCollection.from_query`), so
+"tailored caching for related documents" composes with property-based
+grouping.
+"""
+
+from __future__ import annotations
+
+import abc
+import fnmatch
+from typing import Any, Callable
+
+from repro.placeless.properties import Property, StaticProperty
+from repro.placeless.reference import DocumentReference
+from repro.placeless.space import DocumentSpace
+
+__all__ = [
+    "Query",
+    "HasProperty",
+    "PropertyValue",
+    "NameMatches",
+    "IsActive",
+    "Predicate",
+]
+
+
+def _visible_properties(reference: DocumentReference) -> list[Property]:
+    """The properties a reference's owner sees: personal + universal."""
+    return list(reference.properties) + list(reference.base.properties)
+
+
+class Query(abc.ABC):
+    """A composable predicate over document references."""
+
+    @abc.abstractmethod
+    def matches(self, reference: DocumentReference) -> bool:
+        """True when *reference* satisfies the query."""
+
+    def run(self, space: DocumentSpace) -> list[DocumentReference]:
+        """All references in *space* matching this query."""
+        return [
+            reference
+            for reference in space.references()
+            if self.matches(reference)
+        ]
+
+    def __and__(self, other: "Query") -> "Query":
+        return _And(self, other)
+
+    def __or__(self, other: "Query") -> "Query":
+        return _Or(self, other)
+
+    def __invert__(self) -> "Query":
+        return _Not(self)
+
+
+class _And(Query):
+    """Both sub-queries must match."""
+
+    def __init__(self, left: Query, right: Query) -> None:
+        self.left = left
+        self.right = right
+
+    def matches(self, reference: DocumentReference) -> bool:
+        return self.left.matches(reference) and self.right.matches(reference)
+
+
+class _Or(Query):
+    """Either sub-query may match."""
+
+    def __init__(self, left: Query, right: Query) -> None:
+        self.left = left
+        self.right = right
+
+    def matches(self, reference: DocumentReference) -> bool:
+        return self.left.matches(reference) or self.right.matches(reference)
+
+
+class _Not(Query):
+    """Inverts a sub-query."""
+
+    def __init__(self, inner: Query) -> None:
+        self.inner = inner
+
+    def matches(self, reference: DocumentReference) -> bool:
+        return not self.inner.matches(reference)
+
+
+class HasProperty(Query):
+    """Matches references carrying a property with this exact name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def matches(self, reference: DocumentReference) -> bool:
+        return any(
+            prop.name == self.name
+            for prop in _visible_properties(reference)
+        )
+
+
+class PropertyValue(Query):
+    """Matches references with a static property of this name and value."""
+
+    def __init__(self, name: str, value: Any) -> None:
+        self.name = name
+        self.value = value
+
+    def matches(self, reference: DocumentReference) -> bool:
+        for prop in _visible_properties(reference):
+            if (
+                isinstance(prop, StaticProperty)
+                and prop.name == self.name
+                and prop.value == self.value
+            ):
+                return True
+        return False
+
+
+class NameMatches(Query):
+    """Matches references carrying a property whose name fits a glob."""
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+
+    def matches(self, reference: DocumentReference) -> bool:
+        return any(
+            fnmatch.fnmatch(prop.name, self.pattern)
+            for prop in _visible_properties(reference)
+        )
+
+
+class IsActive(Query):
+    """Matches references with at least one (non-infrastructure) active
+    property — i.e. documents with behaviour attached."""
+
+    def matches(self, reference: DocumentReference) -> bool:
+        return any(
+            prop.is_active and not getattr(prop, "is_infrastructure", False)
+            for prop in _visible_properties(reference)
+        )
+
+
+class Predicate(Query):
+    """Wraps an arbitrary reference predicate (the escape hatch)."""
+
+    def __init__(
+        self, fn: Callable[[DocumentReference], bool], label: str = "predicate"
+    ) -> None:
+        self.fn = fn
+        self.label = label
+
+    def matches(self, reference: DocumentReference) -> bool:
+        return self.fn(reference)

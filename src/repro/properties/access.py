@@ -1,0 +1,100 @@
+"""Access-control and watermarking properties.
+
+Two behaviours a deployed Placeless system needs that stress the caching
+layer in opposite directions:
+
+* :class:`AccessControlProperty` denies operations to non-authorized
+  users *before* any content flows — the error propagates through the
+  read path, so a cache never stores anything for a denied user;
+* :class:`WatermarkProperty` stamps the reading user's identity into the
+  content, making every user's version byte-distinct — the worst case
+  for content sharing, and a property whose transform signature must be
+  per-user so the §3 adoption optimization correctly refuses to share.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PermissionDeniedError
+from repro.events.types import Event, EventType
+from repro.ids import UserId
+from repro.placeless.properties import ActiveProperty
+from repro.streams.base import InputStream
+from repro.streams.transforms import BufferedTransformInputStream
+
+__all__ = ["AccessControlProperty", "WatermarkProperty"]
+
+
+class AccessControlProperty(ActiveProperty):
+    """Denies reads/writes by users outside the allowed set.
+
+    Attach at the base document to protect the document universally, or
+    at a reference to guard one user's delegated handle.  The owner of
+    the attachment is always allowed (you cannot lock yourself out).
+    """
+
+    execution_cost_ms = 0.05
+
+    def __init__(
+        self,
+        allowed: set[UserId],
+        deny_reads: bool = True,
+        deny_writes: bool = True,
+        name: str = "access-control",
+        version: int = 1,
+    ) -> None:
+        super().__init__(name, version)
+        self.allowed = set(allowed)
+        self.deny_reads = deny_reads
+        self.deny_writes = deny_writes
+        self.denials = 0
+
+    def events_of_interest(self):
+        events = set()
+        if self.deny_reads:
+            events.add(EventType.GET_INPUT_STREAM)
+        if self.deny_writes:
+            events.add(EventType.GET_OUTPUT_STREAM)
+        return events
+
+    def _is_allowed(self, user: UserId | None) -> bool:
+        if user is None:
+            return True  # system-internal operations
+        return user in self.allowed or user == self.owner
+
+    def handle(self, event: Event) -> Any:
+        if self._is_allowed(event.user_id):
+            return None
+        self.denials += 1
+        raise PermissionDeniedError(
+            f"{event.user_id} may not {event.type.value} "
+            f"{event.document_id}"
+        )
+
+
+class WatermarkProperty(ActiveProperty):
+    """Stamps the reading user's identity into every read.
+
+    The transform signature embeds the *owner*, so two users carrying
+    "the same" watermark property still produce distinct chain
+    signatures — their content genuinely differs, and the cache must
+    neither share bytes nor adopt entries across them.
+    """
+
+    execution_cost_ms = 0.2
+    transforms_reads = True
+
+    def __init__(self, name: str = "watermark", version: int = 1) -> None:
+        super().__init__(name, version)
+
+    def events_of_interest(self):
+        return {EventType.GET_INPUT_STREAM}
+
+    def wrap_input(self, stream: InputStream, event: Event) -> InputStream:
+        who = event.user_id or self.owner
+        stamp = f"\n-- watermarked for {who} --".encode()
+        return BufferedTransformInputStream(stream, lambda data: data + stamp)
+
+    def transform_signature(self) -> str:
+        return f"watermark/{self.name}/v{self.version}/{self.owner}"

@@ -1,0 +1,103 @@
+"""The "translate to French" property (§1's flagship example).
+
+"the 'translate to French' property can return an English document in
+French" — and, for caching, "when a language translation property is
+added to a document, the cached content in a different language is no
+longer valid" (§3 consistency class 2).
+
+The translator is a word-table substitution over the read path.  It is a
+*buffered* transform (a real translator needs the full sentence/document)
+which also makes it one of the expensive properties replacement policies
+should favour keeping cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+from repro.events.types import Event, EventType
+from repro.placeless.properties import ActiveProperty
+from repro.streams.base import InputStream
+from repro.streams.transforms import BufferedTransformInputStream, text_transform
+
+__all__ = ["TranslationProperty", "ENGLISH_TO_FRENCH"]
+
+#: A small English→French word table sufficient for the examples/tests.
+ENGLISH_TO_FRENCH: dict[str, str] = {
+    "the": "le",
+    "a": "un",
+    "and": "et",
+    "document": "document",
+    "documents": "documents",
+    "cache": "cache",
+    "caching": "mise en cache",
+    "property": "propriété",
+    "properties": "propriétés",
+    "active": "actives",
+    "paper": "papier",
+    "workshop": "atelier",
+    "with": "avec",
+    "of": "de",
+    "for": "pour",
+    "is": "est",
+    "are": "sont",
+    "system": "système",
+    "user": "utilisateur",
+    "users": "utilisateurs",
+    "content": "contenu",
+    "hello": "bonjour",
+    "world": "monde",
+}
+
+_WORD_RE = re.compile(r"[A-Za-z]+")
+
+
+class TranslationProperty(ActiveProperty):
+    """Translates read content through a word table."""
+
+    execution_cost_ms = 2.5
+    transforms_reads = True
+
+    def __init__(
+        self,
+        table: dict[str, str] | None = None,
+        name: str = "translate-to-french",
+        target_language: str = "fr",
+        version: int = 1,
+    ) -> None:
+        super().__init__(name, version)
+        self.table = dict(ENGLISH_TO_FRENCH if table is None else table)
+        self.target_language = target_language
+        self.words_translated = 0
+
+    def events_of_interest(self):
+        return {EventType.GET_INPUT_STREAM}
+
+    def _translate_word(self, match: re.Match[str]) -> str:
+        word = match.group(0)
+        replacement = self.table.get(word.lower())
+        if replacement is None:
+            return word
+        self.words_translated += 1
+        if word[0].isupper():
+            replacement = replacement.capitalize()
+        return replacement
+
+    def translate_text(self, text: str) -> str:
+        """Apply the word table to *text*."""
+        return _WORD_RE.sub(self._translate_word, text)
+
+    def wrap_input(self, stream: InputStream, event: Event) -> InputStream:
+        return BufferedTransformInputStream(
+            stream, text_transform(self.translate_text)
+        )
+
+    def transform_signature(self) -> str:
+        fingerprint = hashlib.md5(
+            repr(sorted(self.table.items())).encode()
+        ).hexdigest()[:8]
+        return (
+            f"translate/{self.name}/{self.target_language}"
+            f"/v{self.version}/{fingerprint}"
+        )

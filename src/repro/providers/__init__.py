@@ -1,0 +1,59 @@
+"""Bit-providers: the active properties that link documents to content.
+
+"A special active property on the base document, called the bit-provider,
+is responsible for retrieving the actual content from its repository."
+(§2)  Documents in Placeless originate "from arbitrary content sources:
+file systems, the World Wide Web, e-mail servers, document management
+systems, live video feeds, etc." (§1) — so this package implements one
+provider per repository family, each over a *simulated* repository
+substrate (we have no 1999 PARC testbed):
+
+* :class:`MemoryProvider` — trivial in-process bytes;
+* :class:`FileSystemProvider` over :class:`SimulatedFileSystem` — the NFS
+  filer, with out-of-band mutation and mtime-probing verifiers;
+* :class:`WebProvider` over :class:`WebOrigin` — HTTP-ish origin with
+  per-page TTLs and TTL verifiers;
+* :class:`LiveFeedProvider` — content changes every access; uncacheable;
+* :class:`CompositeProvider` — multi-source documents (news summaries)
+  with composite verifiers;
+* :class:`DMSProvider` over :class:`DocumentManagementSystem` — versioned
+  repository with checkout/checkin and version-probing verifiers;
+* :class:`MessageProvider` / :class:`MailboxDigestProvider` over
+  :class:`MailServer` — the mail family: immutable messages and
+  append-only folder digests.
+"""
+
+from repro.providers.base import BitProvider, ProviderFetch
+from repro.providers.composite import CompositeProvider
+from repro.providers.dms import DMSProvider, DocumentManagementSystem
+from repro.providers.filesystem import FileSystemProvider
+from repro.providers.live import LiveFeedProvider
+from repro.providers.mail import (
+    MailboxDigestProvider,
+    MailServer,
+    Message,
+    MessageProvider,
+)
+from repro.providers.memory import MemoryProvider
+from repro.providers.simfs import FileRecord, SimulatedFileSystem
+from repro.providers.web import PageRecord, WebOrigin, WebProvider
+
+__all__ = [
+    "BitProvider",
+    "ProviderFetch",
+    "MemoryProvider",
+    "SimulatedFileSystem",
+    "FileRecord",
+    "FileSystemProvider",
+    "WebOrigin",
+    "PageRecord",
+    "WebProvider",
+    "LiveFeedProvider",
+    "CompositeProvider",
+    "DocumentManagementSystem",
+    "DMSProvider",
+    "MailServer",
+    "Message",
+    "MessageProvider",
+    "MailboxDigestProvider",
+]

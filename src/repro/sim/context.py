@@ -1,0 +1,52 @@
+"""The shared simulation context threaded through the whole system.
+
+Bundles the virtual clock, the latency model, the topology and the id
+generator so constructors take one argument instead of four, and so a
+test or benchmark can build an entire Placeless deployment around a
+single deterministic context.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ids import IdGenerator
+from repro.sim.clock import VirtualClock
+from repro.sim.latency import LatencyModel
+from repro.sim.topology import Topology
+
+__all__ = ["SimContext"]
+
+
+@dataclass
+class SimContext:
+    """Deterministic simulation environment for one experiment run."""
+
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    topology: Topology = field(default_factory=Topology)
+    ids: IdGenerator = field(default_factory=IdGenerator)
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time."""
+        return self.clock.now_ms
+
+    def charge_hop(self, hop: str, size_bytes: int = 0) -> float:
+        """Charge one hop crossing to the clock; returns the cost."""
+        cost = self.latency.hop_cost_ms(hop, size_bytes)
+        self.clock.charge(cost)
+        return cost
+
+    def charge_repository(self, repository: str, size_bytes: int) -> float:
+        """Charge one repository fetch to the clock; returns the cost."""
+        cost = self.latency.repository_cost_ms(repository, size_bytes)
+        self.clock.charge(cost)
+        return cost
+
+    def charge(self, cost_ms: float) -> float:
+        """Charge an arbitrary simulated cost (property execution etc.)."""
+        self.clock.charge(cost_ms)
+        return cost_ms

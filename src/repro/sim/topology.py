@@ -1,0 +1,86 @@
+"""Placement of applications, caches, Placeless servers and repositories.
+
+Section 4 of the paper reports experiments with caches "co-located with
+the Placeless server and on the machine where applications are run".  The
+topology module captures that choice: given a cache placement it yields
+the ordered list of hops a request crosses on the hit path and on the
+miss/no-cache path, which the latency model turns into milliseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["NodeKind", "Node", "CachePlacement", "Topology"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a machine in the simulated testbed."""
+
+    APPLICATION = "application"
+    REFERENCE_SERVER = "reference-server"
+    BASE_SERVER = "base-server"
+    REPOSITORY = "repository"
+
+
+class CachePlacement(enum.Enum):
+    """Where the content cache sits, per §4 of the paper."""
+
+    #: Same machine (and address space) as the application; hits cost only
+    #: the ``local`` hop.  This is the configuration Table 1 measures.
+    APPLICATION_LEVEL = "application-level"
+    #: Co-located with the Placeless reference server; hits still cross
+    #: the application→reference hop.
+    SERVER_COLOCATED = "server-colocated"
+
+
+@dataclass
+class Node:
+    """One machine in the testbed."""
+
+    name: str
+    kind: NodeKind
+
+
+@dataclass
+class Topology:
+    """The testbed shape: which hops each access path crosses.
+
+    The default mirrors the paper's prototype: the application machine, a
+    Placeless reference server (per-user document space), a Placeless base
+    server, and content repositories behind the base server.
+    """
+
+    placement: CachePlacement = CachePlacement.APPLICATION_LEVEL
+    nodes: list[Node] = field(default_factory=lambda: [
+        Node("workstation", NodeKind.APPLICATION),
+        Node("placeless-ref", NodeKind.REFERENCE_SERVER),
+        Node("placeless-base", NodeKind.BASE_SERVER),
+    ])
+
+    def hit_path(self) -> list[str]:
+        """Hops crossed when the cache hits (cache → application)."""
+        if self.placement is CachePlacement.APPLICATION_LEVEL:
+            return ["local"]
+        return ["app-to-reference"]
+
+    def fetch_path(self) -> list[str]:
+        """Hops crossed on a full fetch, excluding repository service time.
+
+        The request crosses application→reference and reference→base once
+        in each direction; the repository hop is crossed by the base
+        server.  We charge each hop once with the response size, matching
+        how the dominant (response-carrying) direction scales.
+        """
+        return [
+            "app-to-reference",
+            "reference-to-base",
+            "base-to-repository",
+        ]
+
+    def notifier_path(self) -> list[str]:
+        """Hops a notifier invalidation crosses to reach the cache."""
+        if self.placement is CachePlacement.APPLICATION_LEVEL:
+            return ["reference-to-base", "app-to-reference"]
+        return ["reference-to-base"]

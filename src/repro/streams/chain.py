@@ -1,0 +1,85 @@
+"""Builders applying property stream-wrappers in the paper's order.
+
+Read path (§2): "The execution of custom input stream functionality on
+the read path occurs first at the base document and then at the document
+reference."  Content therefore flows
+
+    repository → base-property streams → reference-property streams → app
+
+which, in wrapper terms, means reference wrappers wrap *outside* base
+wrappers: the application reads from the outermost (last reference
+property's) stream.
+
+Write path: "custom output-streams on the write path are first executed
+at the document reference and then at the base document" — the
+application writes into the outermost stream, which is the *first*
+reference property's; data then flows through the remaining reference
+wrappers, the base wrappers, and finally the bit-provider's sink.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.streams.base import InputStream, OutputStream
+
+__all__ = ["build_input_chain", "build_output_chain", "drain"]
+
+InputWrapper = Callable[[InputStream], InputStream]
+OutputWrapper = Callable[[OutputStream], OutputStream]
+
+
+def build_input_chain(
+    source: InputStream,
+    wrappers: Iterable[InputWrapper],
+) -> InputStream:
+    """Wrap *source* with each wrapper, in execution order.
+
+    *wrappers* must be supplied in the order the properties execute on the
+    read path (base-document properties first, then reference
+    properties).  The first wrapper ends up innermost — closest to the
+    repository — so it transforms the content first, exactly as §2's
+    calling chain describes.  Returns the outermost stream the application
+    reads from.
+    """
+    stream = source
+    for wrap in wrappers:
+        stream = wrap(stream)
+    return stream
+
+
+def build_output_chain(
+    sink: OutputStream,
+    wrappers: Iterable[OutputWrapper],
+) -> OutputStream:
+    """Wrap *sink* with each wrapper, in execution order.
+
+    *wrappers* must be supplied in the order the properties execute on the
+    write path (reference properties first, then base properties).  The
+    first wrapper ends up outermost — it is handed "to the next property
+    in the calling chain ... or if it is the last to the application" — so
+    the application's writes hit it first.  Returns the outermost stream
+    the application writes into.
+    """
+    stream = sink
+    for wrap in reversed(list(wrappers)):
+        stream = wrap(stream)
+    return stream
+
+
+def drain(source: InputStream, chunk_size: int = 4096) -> bytes:
+    """Read *source* to end of stream in *chunk_size* pieces and close it.
+
+    Reading chunk-wise (rather than ``read(-1)``) exercises the chunk and
+    line transform paths the way a real application would.
+    """
+    pieces = []
+    try:
+        while True:
+            chunk = source.read(chunk_size)
+            if not chunk:
+                break
+            pieces.append(chunk)
+    finally:
+        source.close()
+    return b"".join(pieces)

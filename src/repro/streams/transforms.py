@@ -1,0 +1,184 @@
+"""Generic transform streams that custom active-property streams build on.
+
+Section 2: "active properties that modify the document content create a
+chain of custom output-streams that will each operate subsequently on the
+content that is being written", and symmetrically for reads.  Three
+granularities cover the paper's examples:
+
+* **Buffered** — the transform needs the whole content (translation,
+  summarisation): the input variant drains its inner stream on first read;
+  the output variant applies the transform at close before forwarding.
+* **Chunk** — the transform is byte-local (compression-like filters,
+  case-folding): applied per read/write call.
+* **Line** — the transform is line-local (spell-correcting a text line at
+  a time).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.streams.base import InputStream, OutputStream
+
+__all__ = [
+    "BufferedTransformInputStream",
+    "BufferedTransformOutputStream",
+    "ChunkTransformInputStream",
+    "ChunkTransformOutputStream",
+    "LineTransformInputStream",
+    "text_transform",
+]
+
+BytesTransform = Callable[[bytes], bytes]
+
+
+def text_transform(fn: Callable[[str], str], encoding: str = "utf-8") -> BytesTransform:
+    """Lift a ``str → str`` function to a ``bytes → bytes`` transform.
+
+    Undecodable bytes are passed through unchanged rather than raising, so
+    text-oriented properties degrade gracefully on binary content — the
+    behaviour a deployed spelling corrector would need.
+    """
+
+    def transform(data: bytes) -> bytes:
+        try:
+            decoded = data.decode(encoding)
+        except UnicodeDecodeError:
+            return data
+        return fn(decoded).encode(encoding)
+
+    return transform
+
+
+class BufferedTransformInputStream(InputStream):
+    """Input stream applying a whole-content transform.
+
+    The inner stream is drained lazily on the first read, transformed
+    once, and the result served from a buffer.  This matches properties
+    whose output depends on the entire document (translate, summarize).
+    """
+
+    def __init__(self, inner: InputStream, transform: BytesTransform) -> None:
+        super().__init__()
+        self._inner = inner
+        self._transform = transform
+        self._buffer: bytes | None = None
+        self._position = 0
+
+    def _materialize(self) -> bytes:
+        if self._buffer is None:
+            raw = self._inner.read(-1)
+            self._buffer = self._transform(raw)
+        return self._buffer
+
+    def _read_chunk(self, size: int) -> bytes:
+        buffer = self._materialize()
+        chunk = buffer[self._position : self._position + size]
+        self._position += len(chunk)
+        return chunk
+
+    def _on_close(self) -> None:
+        self._inner.close()
+
+
+class BufferedTransformOutputStream(OutputStream):
+    """Output stream applying a whole-content transform at close.
+
+    Writes accumulate; when the application closes the stream the
+    transform runs once and the result is written to the downstream
+    stream, which is then closed.  This is how a spelling corrector on the
+    write path sees the full document before the repository does.
+    """
+
+    def __init__(self, downstream: OutputStream, transform: BytesTransform) -> None:
+        super().__init__()
+        self._downstream = downstream
+        self._transform = transform
+        self._pieces: list[bytes] = []
+
+    def _write_chunk(self, data: bytes) -> None:
+        self._pieces.append(data)
+
+    def _on_close(self) -> None:
+        transformed = self._transform(b"".join(self._pieces))
+        if transformed:
+            self._downstream.write(transformed)
+        self._downstream.close()
+
+
+class ChunkTransformInputStream(InputStream):
+    """Input stream applying a byte-local transform to each chunk read.
+
+    Only sound for transforms where ``t(a + b) == t(a) + t(b)``; callers
+    wanting context across chunk boundaries should use the buffered or
+    line variants.
+    """
+
+    def __init__(self, inner: InputStream, transform: BytesTransform) -> None:
+        super().__init__()
+        self._inner = inner
+        self._transform = transform
+
+    def _read_chunk(self, size: int) -> bytes:
+        chunk = self._inner.read(size)
+        if not chunk:
+            return b""
+        return self._transform(chunk)
+
+    def _on_close(self) -> None:
+        self._inner.close()
+
+
+class ChunkTransformOutputStream(OutputStream):
+    """Output stream applying a byte-local transform to each write."""
+
+    def __init__(self, downstream: OutputStream, transform: BytesTransform) -> None:
+        super().__init__()
+        self._downstream = downstream
+        self._transform = transform
+
+    def _write_chunk(self, data: bytes) -> None:
+        self._downstream.write(self._transform(data))
+
+    def _on_close(self) -> None:
+        self._downstream.close()
+
+
+class LineTransformInputStream(InputStream):
+    """Input stream applying a transform to each ``\\n``-terminated line.
+
+    Partial lines are held back until their terminator (or end of stream)
+    arrives, so the transform always sees complete lines regardless of the
+    chunk sizes the reader uses.
+    """
+
+    def __init__(self, inner: InputStream, transform: BytesTransform) -> None:
+        super().__init__()
+        self._inner = inner
+        self._transform = transform
+        self._carry = b""
+        self._out = b""
+        self._inner_done = False
+
+    def _refill(self, want: int) -> None:
+        while len(self._out) < want and not self._inner_done:
+            chunk = self._inner.read(4096)
+            if not chunk:
+                self._inner_done = True
+                if self._carry:
+                    self._out += self._transform(self._carry)
+                    self._carry = b""
+                break
+            data = self._carry + chunk
+            lines = data.split(b"\n")
+            self._carry = lines.pop()  # last piece has no terminator yet
+            for line in lines:
+                self._out += self._transform(line) + b"\n"
+
+    def _read_chunk(self, size: int) -> bytes:
+        self._refill(size)
+        chunk, self._out = self._out[:size], self._out[size:]
+        return chunk
+
+    def _on_close(self) -> None:
+        self._inner.close()

@@ -1,0 +1,201 @@
+"""Document corpora: the Table-1 trio and synthetic multi-repo corpora.
+
+Table 1 names three documents by source and size:
+
+* ``parcweb`` — 1915 bytes (the PARC intranet server);
+* a ``www`` document — 10 883 bytes;
+* a ``www`` document — 1104 bytes.
+
+:func:`build_table1_documents` recreates exactly those three.
+:func:`build_corpus` builds larger synthetic corpora whose sizes,
+repositories and property chains are drawn from a seeded RNG, for the
+replacement/sharing/consistency benches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.placeless.kernel import PlacelessKernel
+from repro.placeless.reference import DocumentReference
+from repro.providers.base import BitProvider
+from repro.providers.filesystem import FileSystemProvider
+from repro.providers.simfs import SimulatedFileSystem
+from repro.providers.web import WebOrigin, WebProvider
+from repro.ids import UserId
+
+__all__ = [
+    "generate_text",
+    "CorpusDocument",
+    "CorpusSpec",
+    "build_table1_documents",
+    "build_corpus",
+]
+
+#: Word pool for deterministic document text.  Includes the words the
+#: transform properties know about so spell-checks and translations
+#: actually change bytes.
+_WORDS = (
+    "the a and of for with active property properties document documents "
+    "cache caching system user users content placeless server reference "
+    "base verifier notifier stream event workshop paper teh recieve "
+    "seperate documnet propertys consistancy performence is are world "
+    "hello replication version summary translate policy cost"
+).split()
+
+
+def generate_text(size_bytes: int, seed: int = 0) -> bytes:
+    """Deterministic English-ish text of exactly *size_bytes* bytes.
+
+    Words are drawn from a pool that overlaps the transform properties'
+    dictionaries; lines wrap at ~72 columns, paragraphs every 6 lines.
+    """
+    if size_bytes < 0:
+        raise WorkloadError(f"size must be non-negative: {size_bytes}")
+    rng = random.Random(seed)
+    pieces: list[str] = []
+    line_len = 0
+    lines_in_paragraph = 0
+    total = 0
+    while total < size_bytes:
+        word = rng.choice(_WORDS)
+        if line_len + len(word) + 1 > 72:
+            if lines_in_paragraph >= 5:
+                separator = "\n\n"
+                lines_in_paragraph = 0
+            else:
+                separator = "\n"
+                lines_in_paragraph += 1
+            line_len = 0
+        elif pieces:
+            separator = " "
+        else:
+            separator = ""
+        chunk = separator + word
+        line_len += len(chunk)
+        pieces.append(chunk)
+        total += len(chunk)
+    text = "".join(pieces)[:size_bytes]
+    return text.encode("ascii")
+
+
+@dataclass
+class CorpusDocument:
+    """One corpus member: the reference plus provenance for reporting."""
+
+    reference: DocumentReference
+    provider: BitProvider
+    repository: str
+    size_bytes: int
+    label: str
+    #: Names of active properties attached for this document (on the
+    #: owner's reference), for result attribution.
+    property_names: list[str] = field(default_factory=list)
+
+
+def build_table1_documents(
+    kernel: PlacelessKernel,
+    owner: UserId,
+    ttl_ms: float = 60_000.0,
+) -> list[CorpusDocument]:
+    """The paper's three Table-1 documents, verbatim sizes.
+
+    "No active properties were associated with the documents at either
+    the base or the reference in this experiment." (§4)
+    """
+    specs = [
+        ("parcweb", "parcweb", "/index.html", 1915),
+        ("www-large", "www", "/paper.ps", 10_883),
+        ("www-small", "www", "/note.html", 1104),
+    ]
+    documents: list[CorpusDocument] = []
+    for index, (label, host, url, size) in enumerate(specs):
+        origin = WebOrigin(kernel.ctx.clock, host=host)
+        origin.publish(url, generate_text(size, seed=index), ttl_ms=ttl_ms)
+        provider = WebProvider(kernel.ctx, origin, url)
+        reference = kernel.import_document(owner, provider, label)
+        documents.append(
+            CorpusDocument(
+                reference=reference,
+                provider=provider,
+                repository=host,
+                size_bytes=size,
+                label=label,
+            )
+        )
+    return documents
+
+
+@dataclass
+class CorpusSpec:
+    """Configuration for a synthetic corpus."""
+
+    n_documents: int = 100
+    #: (repository name, probability) — must sum to 1.
+    repository_mix: tuple[tuple[str, float], ...] = (
+        ("nfs", 0.4),
+        ("parcweb", 0.3),
+        ("www", 0.3),
+    )
+    #: Log-normal size parameters (median ≈ exp(mu) bytes).
+    size_mu: float = 7.6   # median ≈ 2 KB
+    size_sigma: float = 1.2
+    min_size: int = 128
+    max_size: int = 200_000
+    ttl_ms: float = 60_000.0
+    seed: int = 42
+
+
+def build_corpus(
+    kernel: PlacelessKernel,
+    owner: UserId,
+    spec: CorpusSpec | None = None,
+) -> list[CorpusDocument]:
+    """Build a synthetic corpus of documents across repositories.
+
+    Documents are owned by *owner*; callers attach property chains and
+    create other users' references afterwards (see
+    :func:`repro.workload.users.build_population`).
+    """
+    spec = spec or CorpusSpec()
+    rng = random.Random(spec.seed)
+    weights = [w for _, w in spec.repository_mix]
+    names = [n for n, _ in spec.repository_mix]
+    if abs(sum(weights) - 1.0) > 1e-9:
+        raise WorkloadError("repository_mix probabilities must sum to 1")
+
+    filesystem = SimulatedFileSystem(kernel.ctx.clock)
+    origins = {
+        "parcweb": WebOrigin(kernel.ctx.clock, host="parcweb"),
+        "www": WebOrigin(kernel.ctx.clock, host="www"),
+    }
+    documents: list[CorpusDocument] = []
+    for index in range(spec.n_documents):
+        size = int(rng.lognormvariate(spec.size_mu, spec.size_sigma))
+        size = max(spec.min_size, min(spec.max_size, size))
+        content = generate_text(size, seed=spec.seed * 100_003 + index)
+        repository = rng.choices(names, weights)[0]
+        label = f"doc-{index:04d}"
+        provider: BitProvider
+        if repository == "nfs":
+            path = f"/corpus/{label}.txt"
+            filesystem.write(path, content)
+            provider = FileSystemProvider(kernel.ctx, filesystem, path)
+        else:
+            origin = origins[repository]
+            url = f"/{label}.html"
+            origin.publish(url, content, ttl_ms=spec.ttl_ms)
+            provider = WebProvider(kernel.ctx, origin, url)
+        reference = kernel.import_document(owner, provider, label)
+        documents.append(
+            CorpusDocument(
+                reference=reference,
+                provider=provider,
+                repository=repository,
+                size_bytes=size,
+                label=label,
+            )
+        )
+    return documents

@@ -1,0 +1,90 @@
+"""User populations: many users sharing a corpus through personal references.
+
+"since users can personalize their document use by attaching different
+active properties to a document, caching the content for these users may
+mean that different versions of the content need to be cached" (§1) —
+but also, sharing is possible "when no active properties transform the
+content or when all the transformations requested by the users are the
+same" (§3).  :func:`build_population` constructs both situations: a
+fraction of users get personalizing transform chains, the rest read the
+plain document, with chain assignment drawn from a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ids import UserId
+from repro.placeless.kernel import PlacelessKernel
+from repro.placeless.reference import DocumentReference
+from repro.properties.spellcheck import SpellingCorrectorProperty
+from repro.properties.summarize import SummaryProperty
+from repro.properties.translate import TranslationProperty
+from repro.workload.documents import CorpusDocument
+
+__all__ = ["Population", "build_population"]
+
+#: The personalization chains users may draw (name → factory).
+CHAIN_FACTORIES = {
+    "plain": lambda: [],
+    "translate": lambda: [TranslationProperty()],
+    "spellcheck": lambda: [SpellingCorrectorProperty()],
+    "summarize": lambda: [SummaryProperty()],
+    "spellcheck+translate": lambda: [
+        SpellingCorrectorProperty(),
+        TranslationProperty(),
+    ],
+}
+
+
+@dataclass
+class Population:
+    """Users, their references per corpus document, and chain labels."""
+
+    users: list[UserId]
+    #: references[user_index][document_index]
+    references: list[list[DocumentReference]]
+    #: chain label assigned to each user (same chain on all their docs).
+    chains: list[str]
+
+    def reference(self, user_index: int, document_index: int) -> DocumentReference:
+        """The reference of one user to one corpus document."""
+        return self.references[user_index][document_index]
+
+
+def build_population(
+    kernel: PlacelessKernel,
+    corpus: list[CorpusDocument],
+    n_users: int,
+    personalized_fraction: float = 0.5,
+    seed: int = 0,
+) -> Population:
+    """Create *n_users* with references to every corpus document.
+
+    ``personalized_fraction`` of the users get a (randomly drawn)
+    transforming chain attached to each of their references; the rest
+    stay plain, so their transformed content is byte-identical and the
+    cache can share it via content signatures.
+    """
+    rng = random.Random(seed)
+    chain_names = [name for name in CHAIN_FACTORIES if name != "plain"]
+    users: list[UserId] = []
+    references: list[list[DocumentReference]] = []
+    chains: list[str] = []
+    for user_index in range(n_users):
+        user = kernel.create_user(f"user-{user_index:03d}")
+        users.append(user)
+        personalized = rng.random() < personalized_fraction
+        chain_name = rng.choice(chain_names) if personalized else "plain"
+        chains.append(chain_name)
+        row: list[DocumentReference] = []
+        for document in corpus:
+            reference = kernel.space(user).add_reference(
+                document.reference.base, hint=document.label
+            )
+            for prop in CHAIN_FACTORIES[chain_name]():
+                reference.attach(prop)
+            row.append(reference)
+        references.append(row)
+    return Population(users=users, references=references, chains=chains)

@@ -1,0 +1,241 @@
+"""Smoke tests: every bench runs (at reduced scale) and its shape holds.
+
+These are the assertions behind EXPERIMENTS.md — each experiment's
+qualitative claim is checked mechanically, so a regression that flips a
+conclusion fails the suite, not just the benchmark report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cacheability import run_cacheability
+from repro.bench.chains import run_chain_latency
+from repro.bench.collections import run_collections
+from repro.bench.external import run_external_placement
+from repro.bench.notifier_verifier import run_notifier_verifier
+from repro.bench.placement import run_placement
+from repro.bench.qos import run_qos
+from repro.bench.replacement import run_replacement
+from repro.bench.sharing import run_sharing
+from repro.bench.table1 import format_table1, run_table1
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(repeats=3)
+
+    def test_three_documents_with_paper_sizes(self, rows):
+        assert [r.size_bytes for r in rows] == [1915, 10_883, 1104]
+
+    def test_hit_is_orders_of_magnitude_faster(self, rows):
+        for row in rows:
+            assert row.hit_speedup > 50
+
+    def test_miss_overhead_is_small(self, rows):
+        # "the overhead to create a minimum set of notifiers ... and the
+        # returning of one TTL-based verifier is small" — under 5%.
+        for row in rows:
+            assert 0 <= row.miss_overhead_fraction < 0.05
+
+    def test_www_documents_slower_than_parcweb(self, rows):
+        parcweb = rows[0]
+        for www_row in rows[1:]:
+            assert www_row.no_cache_ms > parcweb.no_cache_ms
+
+    def test_formatting_matches_paper_layout(self, rows):
+        text = format_table1(rows)
+        assert "parcweb (1915 bytes)" in text
+        assert "www (10883 bytes)" in text
+        assert "no cache" in text and "cache miss" in text
+
+
+class TestA1NotifierVerifier:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        results = run_notifier_verifier(n_documents=20, n_events=500)
+        return {r.config: r for r in results}
+
+    def test_both_is_least_stale(self, rows):
+        assert rows["both"].staleness_ratio <= rows["notifiers-only"].staleness_ratio
+        assert rows["both"].staleness_ratio <= rows["verifiers-only"].staleness_ratio
+        assert rows["both"].staleness_ratio < rows["none"].staleness_ratio
+
+    def test_verifiers_cost_hit_latency(self, rows):
+        assert (
+            rows["verifiers-only"].mean_hit_latency_ms
+            > rows["notifiers-only"].mean_hit_latency_ms
+        )
+
+    def test_notifiers_cost_system_load(self, rows):
+        assert rows["notifiers-only"].notifier_deliveries > 0
+        assert rows["verifiers-only"].notifier_deliveries == 0
+
+    def test_none_is_most_stale(self, rows):
+        assert rows["none"].staleness_ratio >= rows["notifiers-only"].staleness_ratio
+
+
+class TestA2Replacement:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        results = run_replacement(
+            policies=("gds", "gdsf", "lru", "fifo", "random"),
+            n_documents=60,
+            n_reads=800,
+        )
+        return {r.policy: r for r in results}
+
+    def test_cost_aware_beats_recency_on_latency(self, rows):
+        best_gds = min(rows["gds"].total_latency_ms, rows["gdsf"].total_latency_ms)
+        assert best_gds < rows["lru"].total_latency_ms
+        assert best_gds < rows["fifo"].total_latency_ms
+        assert best_gds < rows["random"].total_latency_ms
+
+    def test_all_policies_get_some_hits(self, rows):
+        assert all(r.hit_ratio > 0.05 for r in rows.values())
+
+
+class TestA3Sharing:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_sharing(fractions=(0.0, 0.5, 1.0), n_documents=8, n_users=8)
+
+    def test_zero_personalization_shares_fully(self, rows):
+        assert rows[0].dedup_factor == pytest.approx(8.0)
+        assert rows[0].distinct_contents == 8
+
+    def test_dedup_decreases_with_personalization(self, rows):
+        assert rows[0].dedup_factor > rows[1].dedup_factor
+
+    def test_sharing_never_below_one(self, rows):
+        assert all(r.dedup_factor >= 1.0 for r in rows)
+
+    def test_entry_count_constant(self, rows):
+        assert all(r.n_entries == 64 for r in rows)
+
+
+class TestA4Cacheability:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        results = run_cacheability(n_documents=10, n_reads=300)
+        return {r.config: r for r in results}
+
+    def test_with_events_audit_complete(self, rows):
+        assert rows["with-events"].audit_complete
+        assert rows["uncacheable"].audit_complete
+
+    def test_with_events_much_faster_than_uncacheable(self, rows):
+        assert (
+            rows["with-events"].mean_latency_ms
+            < rows["uncacheable"].mean_latency_ms / 3
+        )
+
+    def test_uncacheable_never_hits(self, rows):
+        assert rows["uncacheable"].hit_ratio == 0.0
+
+    def test_forwarding_only_in_with_events(self, rows):
+        assert rows["with-events"].forwarded_reads > 0
+        assert rows["unrestricted"].forwarded_reads == 0
+
+
+class TestA6QoS:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        results = run_qos(n_documents=60, n_qos=6, n_reads=1200)
+        return {r.config: r for r in results}
+
+    def test_inflation_improves_compliance(self, rows):
+        assert (
+            rows["inflated"].qos_compliance
+            > rows["no-inflation"].qos_compliance
+        )
+
+    def test_inflation_lowers_qos_latency(self, rows):
+        assert (
+            rows["inflated"].qos_mean_latency_ms
+            < rows["no-inflation"].qos_mean_latency_ms
+        )
+
+
+class TestA7Chains:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_chain_latency(lengths=(0, 2, 4), repeats=3)
+
+    def test_uncached_latency_grows_with_chain(self, rows):
+        latencies = [r.uncached_ms for r in rows]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_hit_latency_stays_flat(self, rows):
+        hits = [r.hit_ms for r in rows]
+        assert max(hits) - min(hits) < 0.1
+
+    def test_replacement_cost_grows_with_chain(self, rows):
+        costs = [r.replacement_cost_ms for r in rows]
+        assert costs == sorted(costs)
+
+
+class TestA8Placement:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        results = run_placement(n_documents=25, n_users=4, n_events=800)
+        return {r.deployment: r for r in results}
+
+    def test_app_level_hits_are_cheapest_per_hit(self, rows):
+        assert (
+            rows["app-level"].mean_latency_ms < rows["server"].mean_latency_ms
+        )
+
+    def test_shared_server_cache_saves_memory(self, rows):
+        assert rows["server"].bytes_cached < rows["app-level"].bytes_cached
+
+    def test_adoption_collapses_kernel_reads(self, rows):
+        assert (
+            rows["server+adoption"].kernel_reads < rows["server"].kernel_reads
+        )
+
+    def test_hierarchy_with_adoption_wins(self, rows):
+        best = min(rows.values(), key=lambda r: r.mean_latency_ms)
+        assert best.deployment == "both+adoption"
+
+
+class TestA9Collections:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        results = run_collections(
+            n_collections=8, collection_size=5, n_bursts=60
+        )
+        return {r.config: r for r in results}
+
+    def test_prefetch_accelerates_follow_reads(self, rows):
+        assert (
+            rows["prefetch"].mean_follow_latency_ms
+            < rows["no-prefetch"].mean_follow_latency_ms / 2
+        )
+
+    def test_prefetch_costs_speculative_fills(self, rows):
+        assert rows["prefetch"].prefetch_fills > 0
+        assert rows["no-prefetch"].prefetch_fills == 0
+
+
+class TestA10ExternalPlacement:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        results = run_external_placement(n_reads=300)
+        return {r.placement: r for r in results}
+
+    def test_verifier_placement_never_stale(self, rows):
+        assert rows["verifier"].stale_ratio == 0.0
+
+    def test_verifier_placement_pays_hit_latency(self, rows):
+        assert (
+            rows["verifier"].mean_hit_latency_ms
+            > rows["notifier-fast"].mean_hit_latency_ms * 2
+        )
+
+    def test_polling_period_controls_staleness_and_load(self, rows):
+        fast, slow = rows["notifier-fast"], rows["notifier-slow"]
+        assert fast.stale_ratio < slow.stale_ratio
+        assert fast.samples_taken > slow.samples_taken

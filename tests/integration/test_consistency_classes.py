@@ -1,0 +1,56 @@
+"""A5 end-to-end: every consistency class hits exactly the right entries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.invalidation import run_invalidation_classes
+
+
+@pytest.fixture(scope="module")
+def steps():
+    return {s.consistency_class: s for s in run_invalidation_classes()}
+
+
+class TestScopes:
+    def test_in_band_write_invalidates_everyone(self, steps):
+        step = steps["1 (in-band)"]
+        assert step.invalidated_users == ("doug", "eyal", "paul")
+        assert step.survived_users == ()
+
+    def test_out_of_band_update_invalidates_everyone(self, steps):
+        step = steps["1 (out-of-band)"]
+        assert step.invalidated_users == ("doug", "eyal", "paul")
+        assert "source-updated-out-of-band" in step.reasons
+
+    def test_personal_property_add_scopes_to_owner(self, steps):
+        step = steps["2 (personal add)"]
+        assert step.invalidated_users == ("paul",)
+        assert step.survived_users == ("doug", "eyal")
+        assert "property-added" in step.reasons
+
+    def test_property_modify_scopes_to_owner(self, steps):
+        step = steps["2 (modify)"]
+        assert step.invalidated_users == ("eyal",)
+        assert "property-modified" in step.reasons
+
+    def test_universal_property_add_hits_everyone(self, steps):
+        step = steps["2 (universal add)"]
+        assert step.invalidated_users == ("doug", "eyal", "paul")
+
+    def test_reorder_scopes_to_owner(self, steps):
+        step = steps["3 (reorder)"]
+        assert step.invalidated_users == ("eyal",)
+        assert step.survived_users == ("doug", "paul")
+        assert "property-reordered" in step.reasons
+
+    def test_external_change_caught_by_verifier(self, steps):
+        step = steps["4 (external)"]
+        assert step.invalidated_users == ("doug", "eyal", "paul")
+        assert "source-updated-out-of-band" in step.reasons
+
+
+class TestReasonsAttribution:
+    def test_every_step_recorded_at_least_one_reason(self, steps):
+        for step in steps.values():
+            assert step.reasons, f"no reasons for step {step.step!r}"

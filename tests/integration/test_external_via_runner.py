@@ -1,0 +1,79 @@
+"""Closing the class-4 loop: trace-driven external changes end-to-end.
+
+The trace runner's EXTERNAL_CHANGE events mutate its per-document
+external registry; documents carrying an
+:class:`~repro.properties.external.ExternalDependencyProperty` sampling
+that registry then go stale exactly when the trace says so, and the
+chosen placement (verifier here) catches it — the full §3 class-4 path
+driven by generated workload rather than a scripted scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.manager import DocumentCache
+from repro.placeless.kernel import PlacelessKernel
+from repro.properties.external import ExternalDependencyProperty
+from repro.workload.documents import CorpusSpec, build_corpus
+from repro.workload.runner import TraceRunner
+from repro.workload.trace import TraceEvent, TraceEventKind
+
+
+@pytest.fixture
+def world():
+    kernel = PlacelessKernel()
+    owner = kernel.create_user("owner")
+    corpus = build_corpus(
+        kernel, owner, CorpusSpec(n_documents=3, ttl_ms=3.6e6, seed=5)
+    )
+    cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+    runner = TraceRunner(
+        kernel, corpus, [[d.reference for d in corpus]], caches=cache
+    )
+    # Document 0 renders according to the runner's external registry.
+    corpus[0].reference.attach(
+        ExternalDependencyProperty(
+            lambda: runner.external_value(0), mode="verifier"
+        )
+    )
+    return kernel, corpus, cache, runner
+
+
+def ev(kind, doc=0):
+    return TraceEvent(kind=kind, document_index=doc, user_index=0)
+
+
+class TestExternalChangesViaTrace:
+    def test_external_change_invalidates_dependent_document(self, world):
+        kernel, corpus, cache, runner = world
+        runner.execute([ev(TraceEventKind.READ), ev(TraceEventKind.READ)])
+        assert cache.stats.hits == 1
+        report = runner.execute([
+            ev(TraceEventKind.EXTERNAL_CHANGE),
+            ev(TraceEventKind.READ),
+        ])
+        assert report.external_changes == 1
+        # The post-change read missed (verifier caught the drift) and the
+        # fresh content carries the new external value.
+        assert report.hits == 0
+        outcome = cache.read(corpus[0].reference)
+        assert b"[external=1]" in outcome.content
+
+    def test_unrelated_documents_untouched(self, world):
+        kernel, corpus, cache, runner = world
+        runner.execute([
+            ev(TraceEventKind.READ, doc=1),
+            ev(TraceEventKind.EXTERNAL_CHANGE, doc=0),
+        ])
+        assert cache.read(corpus[1].reference).hit
+
+    def test_repeated_changes_keep_tracking(self, world):
+        kernel, corpus, cache, runner = world
+        for round_number in range(1, 4):
+            runner.execute([
+                ev(TraceEventKind.EXTERNAL_CHANGE),
+                ev(TraceEventKind.READ),
+            ])
+            outcome = cache.read(corpus[0].reference)
+            assert f"[external={round_number}]".encode() in outcome.content

@@ -1,0 +1,147 @@
+"""Figure 1: the HotOS-paper-draft property-attachment structure, verbatim.
+
+"Eyal owns the base document since he created the draft of the HotOS
+paper.  A special active property on the base document, called the
+bit-provider, is responsible for retrieving the actual content ...  Eyal
+also attached an universal property to the base that saves an old version
+of the paper each time someone opens it for writing.  Eyal, Paul and Doug
+personalize their interactions with the paper through personal properties
+attached in their references."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.placeless.kernel import PlacelessKernel
+from repro.placeless.properties import AttachmentSite, StaticProperty
+from repro.properties.replication import ReplicationProperty
+from repro.properties.spellcheck import SpellingCorrectorProperty
+from repro.properties.versioning import VersioningProperty
+from repro.providers.filesystem import FileSystemProvider
+from repro.providers.simfs import SimulatedFileSystem
+
+
+@pytest.fixture
+def scenario():
+    kernel = PlacelessKernel()
+    eyal = kernel.create_user("eyal")
+    paul = kernel.create_user("paul")
+    doug = kernel.create_user("doug")
+
+    parc_fs = SimulatedFileSystem(kernel.ctx.clock)
+    parc_fs.write(
+        "/tilde/edelara/hotos.doc",
+        b"Caching documnet with active propertys.\nDraft one.",
+    )
+    provider = FileSystemProvider(kernel.ctx, parc_fs, "/tilde/edelara/hotos.doc")
+    base = kernel.create_document(eyal, provider, "hotos.doc")
+
+    versioning = VersioningProperty()
+    base.attach(versioning)
+
+    eyal_ref = kernel.space(eyal).add_reference(base, "hotos.doc")
+    paul_ref = kernel.space(paul).add_reference(base, "hotos.doc")
+    doug_ref = kernel.space(doug).add_reference(base, "hotos.doc")
+
+    rice_fs = SimulatedFileSystem(kernel.ctx.clock)
+    spell = SpellingCorrectorProperty()
+    replicate = ReplicationProperty(
+        kernel.timers, rice_fs, "/home/edelara/hotos.doc"
+    )
+    eyal_ref.attach(spell)
+    eyal_ref.attach(replicate)
+    paul_ref.attach(StaticProperty("1999 workshop submission"))
+    doug_ref.attach(StaticProperty("read by", "11/30"))
+
+    return {
+        "kernel": kernel,
+        "base": base,
+        "parc_fs": parc_fs,
+        "rice_fs": rice_fs,
+        "refs": {"eyal": eyal_ref, "paul": paul_ref, "doug": doug_ref},
+        "versioning": versioning,
+        "spell": spell,
+        "replicate": replicate,
+    }
+
+
+class TestStructure:
+    def test_eyal_owns_the_base(self, scenario):
+        assert scenario["base"].owner == scenario["refs"]["eyal"].owner
+
+    def test_universal_property_on_base(self, scenario):
+        assert scenario["base"].has_property("versioning")
+        assert scenario["versioning"].site is AttachmentSite.BASE
+
+    def test_three_references_share_the_base(self, scenario):
+        base = scenario["base"]
+        assert len(base.references) == 3
+        assert all(ref.base is base for ref in scenario["refs"].values())
+
+    def test_personal_properties_are_private(self, scenario):
+        refs = scenario["refs"]
+        assert refs["eyal"].has_property("spell-correct")
+        assert not refs["paul"].has_property("spell-correct")
+        assert refs["paul"].has_property("1999 workshop submission")
+        assert refs["doug"].has_property("read by")
+        assert not scenario["base"].has_property("read by")
+
+
+class TestBehaviour:
+    def test_all_users_see_the_shared_content(self, scenario):
+        kernel = scenario["kernel"]
+        refs = scenario["refs"]
+        paul_view = kernel.read(refs["paul"]).content
+        doug_view = kernel.read(refs["doug"]).content
+        assert paul_view == doug_view
+        assert b"documnet" in paul_view  # uncorrected for them
+
+    def test_eyal_sees_corrected_spelling(self, scenario):
+        kernel = scenario["kernel"]
+        eyal_view = kernel.read(scenario["refs"]["eyal"]).content
+        assert b"document" in eyal_view
+        assert b"documnet" not in eyal_view
+
+    def test_everyone_sees_versioning_results(self, scenario):
+        # "All three users see the versioning information resulting from
+        # the universal property on the base document."
+        kernel = scenario["kernel"]
+        refs = scenario["refs"]
+        kernel.write(refs["doug"], b"Doug revises the draft.")
+        base = scenario["base"]
+        assert base.has_property("version-1")
+        assert scenario["versioning"].version_count == 1
+        # The link is visible from every reference (it is on the base).
+        for ref in refs.values():
+            assert ref.base.has_property("version-1")
+
+    def test_versioning_snapshots_old_content_on_each_write(self, scenario):
+        kernel = scenario["kernel"]
+        refs = scenario["refs"]
+        kernel.write(refs["eyal"], b"Draft two.")
+        kernel.write(refs["doug"], b"Draft three.")
+        versioning = scenario["versioning"]
+        assert versioning.version_count == 2
+        assert b"Draft one." in versioning.snapshots[0].content
+        # Eyal's write went through his spell-corrector before storage.
+        assert versioning.snapshots[1].content == b"Draft two."
+
+    def test_replication_keeps_copy_at_rice(self, scenario):
+        # "Eyal's replication between PARC and Rice occurs only once at
+        # the end of the day" — a timer event.
+        kernel = scenario["kernel"]
+        day_ms = 24 * 60 * 60 * 1000.0
+        kernel.ctx.clock.advance(day_ms + 1)
+        assert (
+            scenario["rice_fs"].read("/home/edelara/hotos.doc")
+            == scenario["parc_fs"].read("/tilde/edelara/hotos.doc")
+        )
+
+    def test_eyals_write_is_spell_corrected_at_source(self, scenario):
+        kernel = scenario["kernel"]
+        kernel.write(scenario["refs"]["eyal"], b"teh final version")
+        assert (
+            scenario["parc_fs"].read("/tilde/edelara/hotos.doc")
+            == b"the final version"
+        )

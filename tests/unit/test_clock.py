@@ -1,0 +1,132 @@
+"""Tests for the virtual clock and its schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import VirtualClock
+
+
+class TestAdvance:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now_ms == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start_ms=100.0).now_ms == 100.0
+
+    def test_advance_moves_time(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        assert clock.now_ms == 5.0
+
+    def test_advance_zero_is_allowed(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now_ms == 0.0
+
+    def test_advance_negative_raises(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_to_absolute(self):
+        clock = VirtualClock()
+        clock.advance_to(42.0)
+        assert clock.now_ms == 42.0
+
+    def test_advance_to_past_raises(self):
+        clock = VirtualClock(start_ms=10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(5.0)
+
+
+class TestCharge:
+    def test_charge_moves_time_and_accumulates(self):
+        clock = VirtualClock()
+        clock.charge(3.0)
+        clock.charge(2.0)
+        assert clock.now_ms == 5.0
+        assert clock.total_charged_ms == 5.0
+
+    def test_advance_does_not_count_as_charged(self):
+        clock = VirtualClock()
+        clock.advance(100.0)
+        assert clock.total_charged_ms == 0.0
+
+    def test_charge_negative_raises(self):
+        with pytest.raises(ClockError):
+            VirtualClock().charge(-0.1)
+
+
+class TestSchedule:
+    def test_callback_fires_when_time_arrives(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_after(10.0, lambda: fired.append(clock.now_ms))
+        clock.advance(9.9)
+        assert fired == []
+        clock.advance(0.1)
+        assert fired == [10.0]
+
+    def test_callbacks_fire_in_due_order(self):
+        clock = VirtualClock()
+        order = []
+        clock.call_at(20.0, lambda: order.append("late"))
+        clock.call_at(10.0, lambda: order.append("early"))
+        clock.advance(30.0)
+        assert order == ["early", "late"]
+
+    def test_simultaneous_callbacks_fire_fifo(self):
+        clock = VirtualClock()
+        order = []
+        for index in range(5):
+            clock.call_at(10.0, lambda i=index: order.append(i))
+        clock.advance(10.0)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_callback_sees_its_due_time_as_now(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(7.0, lambda: seen.append(clock.now_ms))
+        clock.advance(50.0)
+        assert seen == [7.0]
+        assert clock.now_ms == 50.0
+
+    def test_callback_can_schedule_within_window(self):
+        clock = VirtualClock()
+        fired = []
+        def first():
+            clock.call_after(5.0, lambda: fired.append("second"))
+        clock.call_at(10.0, first)
+        clock.advance(20.0)
+        assert fired == ["second"]
+
+    def test_cancel_prevents_firing(self):
+        clock = VirtualClock()
+        fired = []
+        call = clock.call_after(5.0, lambda: fired.append(1))
+        call.cancel()
+        clock.advance(10.0)
+        assert fired == []
+
+    def test_pending_counts_live_calls(self):
+        clock = VirtualClock()
+        first = clock.call_after(5.0, lambda: None)
+        clock.call_after(6.0, lambda: None)
+        assert clock.pending() == 2
+        first.cancel()
+        assert clock.pending() == 1
+
+    def test_schedule_in_past_raises(self):
+        clock = VirtualClock(start_ms=10.0)
+        with pytest.raises(ClockError):
+            clock.call_at(5.0, lambda: None)
+        with pytest.raises(ClockError):
+            clock.call_after(-1.0, lambda: None)
+
+    def test_charge_also_fires_due_callbacks(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_after(1.0, lambda: fired.append(1))
+        clock.charge(2.0)
+        assert fired == [1]

@@ -1,0 +1,95 @@
+"""Tests for content signatures and the reference-counted store."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.content.signature import ContentSignature, sign
+from repro.content.store import ContentStore
+from repro.errors import CacheEntryNotFoundError
+
+
+class TestSignature:
+    def test_sign_is_md5(self):
+        assert sign(b"abc").digest == hashlib.md5(b"abc").hexdigest()
+
+    def test_equal_bytes_equal_signature(self):
+        assert sign(b"hello") == sign(b"hello")
+
+    def test_different_bytes_different_signature(self):
+        assert sign(b"hello") != sign(b"hellO")
+
+    def test_short_prefix(self):
+        signature = sign(b"x")
+        assert signature.short == signature.digest[:8]
+
+    def test_str_prefix(self):
+        assert str(sign(b"x")).startswith("md5:")
+
+
+class TestContentStore:
+    def test_put_and_get(self):
+        store = ContentStore()
+        signature = store.put(b"payload")
+        assert store.get(signature) == b"payload"
+
+    def test_put_duplicate_deduplicates(self):
+        store = ContentStore()
+        first = store.put(b"shared")
+        second = store.put(b"shared")
+        assert first == second
+        assert len(store) == 1
+        assert store.refcount(first) == 2
+
+    def test_physical_vs_logical_bytes(self):
+        store = ContentStore()
+        store.put(b"x" * 100)
+        store.put(b"x" * 100)
+        store.put(b"y" * 50)
+        assert store.physical_bytes == 150
+        assert store.logical_bytes == 250
+
+    def test_release_decrements_and_evicts_at_zero(self):
+        store = ContentStore()
+        signature = store.put(b"data")
+        store.put(b"data")
+        store.release(signature)
+        assert signature in store
+        store.release(signature)
+        assert signature not in store
+        assert store.physical_bytes == 0
+
+    def test_adopt_adds_reference(self):
+        store = ContentStore()
+        signature = store.put(b"data")
+        store.adopt(signature)
+        assert store.refcount(signature) == 2
+
+    def test_adopt_missing_raises(self):
+        with pytest.raises(CacheEntryNotFoundError):
+            ContentStore().adopt(ContentSignature("0" * 32))
+
+    def test_get_missing_raises(self):
+        with pytest.raises(CacheEntryNotFoundError):
+            ContentStore().get(sign(b"never stored"))
+
+    def test_release_missing_raises(self):
+        with pytest.raises(CacheEntryNotFoundError):
+            ContentStore().release(sign(b"never stored"))
+
+    def test_size_of(self):
+        store = ContentStore()
+        signature = store.put(b"12345")
+        assert store.size_of(signature) == 5
+
+    def test_refcount_of_missing_is_zero(self):
+        assert ContentStore().refcount(sign(b"missing")) == 0
+
+    def test_contents_are_copied_defensively(self):
+        store = ContentStore()
+        data = bytearray(b"mutable")
+        signature = store.put(bytes(data))
+        data[0] = ord("X")
+        assert store.get(signature) == b"mutable"

@@ -1,0 +1,289 @@
+"""Tests for the §4/§5 extensions: pinning, adoption, hierarchies,
+placement, and external-dependency policy placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.manager import DocumentCache
+from repro.cache.notifiers import InvalidationBus
+from repro.cache.replacement import LRUPolicy
+from repro.errors import CacheError, PropertyError
+from repro.placeless.kernel import PlacelessKernel
+from repro.properties.external import ExternalDependencyProperty
+from repro.properties.qos import AlwaysAvailableProperty
+from repro.properties.translate import TranslationProperty
+from repro.providers.memory import MemoryProvider
+from repro.sim.topology import CachePlacement
+
+
+def make_refs(kernel, user, count, size=100):
+    return [
+        kernel.import_document(
+            user, MemoryProvider(kernel.ctx, bytes([65 + i]) * size), f"d{i}"
+        )
+        for i in range(count)
+    ]
+
+
+class TestPinning:
+    def test_pinned_entry_survives_pressure(self, kernel, user):
+        refs = make_refs(kernel, user, 5, size=100)
+        refs[0].attach(AlwaysAvailableProperty())
+        cache = DocumentCache(kernel, capacity_bytes=250, policy=LRUPolicy())
+        cache.read(refs[0])
+        assert cache.entry_for(refs[0]).pinned
+        for ref in refs[1:]:
+            cache.read(ref)
+        # LRU would have evicted refs[0] long ago; pinning kept it.
+        assert cache.entry_for(refs[0]) is not None
+        assert cache.read(refs[0]).hit
+
+    def test_pinned_entry_still_invalidated_by_writes(self, kernel, user,
+                                                      other_user):
+        provider = MemoryProvider(kernel.ctx, b"v1")
+        base = kernel.create_document(user, provider, "doc")
+        mine = kernel.space(user).add_reference(base)
+        theirs = kernel.space(other_user).add_reference(base)
+        mine.attach(AlwaysAvailableProperty())
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        cache.read(mine)
+        cache.write(theirs, b"v2")
+        outcome = cache.read(mine)
+        assert not outcome.hit
+        assert b"v2" in outcome.content
+
+    def test_all_pinned_and_over_capacity_raises(self, kernel, user):
+        refs = make_refs(kernel, user, 4, size=100)
+        for ref in refs:
+            ref.attach(AlwaysAvailableProperty())
+        cache = DocumentCache(kernel, capacity_bytes=250)
+        cache.read(refs[0])
+        cache.read(refs[1])
+        with pytest.raises(CacheError):
+            cache.read(refs[2])
+
+
+class TestAdoption:
+    @pytest.fixture
+    def shared_doc(self, kernel, user, other_user):
+        provider = MemoryProvider(kernel.ctx, b"the world document")
+        base = kernel.create_document(user, provider, "doc")
+        mine = kernel.space(user).add_reference(base)
+        theirs = kernel.space(other_user).add_reference(base)
+        return provider, base, mine, theirs
+
+    def test_identical_chains_adopt(self, kernel, shared_doc):
+        provider, base, mine, theirs = shared_doc
+        mine.attach(TranslationProperty())
+        theirs.attach(TranslationProperty())
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, share_across_users=True
+        )
+        first = cache.read(mine)
+        second = cache.read(theirs)
+        assert second.disposition == "miss-adopted"
+        assert second.content == first.content
+        assert second.elapsed_ms < first.elapsed_ms / 3
+        assert cache.stats.sibling_adoptions == 1
+        assert kernel.stats.reads == 1  # only one full path ran
+
+    def test_plain_references_adopt(self, kernel, shared_doc):
+        provider, base, mine, theirs = shared_doc
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, share_across_users=True
+        )
+        cache.read(mine)
+        assert cache.read(theirs).disposition == "miss-adopted"
+
+    def test_different_chains_do_not_adopt(self, kernel, shared_doc):
+        provider, base, mine, theirs = shared_doc
+        mine.attach(TranslationProperty())
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, share_across_users=True
+        )
+        cache.read(mine)
+        outcome = cache.read(theirs)
+        assert outcome.disposition == "miss"
+        assert cache.stats.sibling_adoptions == 0
+
+    def test_stale_candidate_not_adopted(self, kernel, shared_doc):
+        provider, base, mine, theirs = shared_doc
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, share_across_users=True
+        )
+        cache.read(mine)
+        provider.mutate_out_of_band(b"changed behind the cache")
+        outcome = cache.read(theirs)
+        assert outcome.disposition == "miss"
+        assert outcome.content == b"changed behind the cache"
+
+    def test_adoption_disabled_by_default(self, kernel, shared_doc):
+        provider, base, mine, theirs = shared_doc
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        cache.read(mine)
+        assert cache.read(theirs).disposition == "miss"
+
+    def test_adopted_entry_hits_afterwards(self, kernel, shared_doc):
+        provider, base, mine, theirs = shared_doc
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, share_across_users=True
+        )
+        cache.read(mine)
+        cache.read(theirs)
+        assert cache.read(theirs).hit
+
+    def test_adoption_shares_bytes(self, kernel, shared_doc):
+        provider, base, mine, theirs = shared_doc
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20, share_across_users=True
+        )
+        cache.read(mine)
+        cache.read(theirs)
+        assert len(cache) == 2
+        assert len(cache.store) == 1
+        assert cache.store.refcount(cache.entry_for(mine).signature) == 2
+
+
+class TestHierarchy:
+    @pytest.fixture
+    def two_level(self, kernel, user):
+        bus = InvalidationBus(kernel.ctx)
+        l2 = DocumentCache(
+            kernel, capacity_bytes=1 << 20, bus=bus,
+            placement=CachePlacement.SERVER_COLOCATED, name="l2",
+        )
+        l1 = DocumentCache(
+            kernel, capacity_bytes=1 << 20, bus=bus,
+            placement=CachePlacement.APPLICATION_LEVEL,
+            backing=l2, name="l1",
+        )
+        refs = make_refs(kernel, user, 3)
+        return l1, l2, refs
+
+    def test_miss_fills_both_levels(self, two_level):
+        l1, l2, refs = two_level
+        l1.read(refs[0])
+        assert l1.entry_for(refs[0]) is not None
+        assert l2.entry_for(refs[0]) is not None
+        assert l1.stats.misses == 1 and l2.stats.misses == 1
+
+    def test_l1_hit_does_not_touch_l2(self, two_level):
+        l1, l2, refs = two_level
+        l1.read(refs[0])
+        l1.read(refs[0])
+        assert l1.stats.hits == 1
+        assert l2.stats.lookups == 1  # only the original fill
+
+    def test_l2_serves_after_l1_eviction(self, kernel, user):
+        bus = InvalidationBus(kernel.ctx)
+        l2 = DocumentCache(kernel, capacity_bytes=1 << 20, bus=bus, name="l2")
+        l1 = DocumentCache(
+            kernel, capacity_bytes=250, bus=bus, backing=l2,
+            policy=LRUPolicy(), name="l1",
+        )
+        refs = make_refs(kernel, user, 4, size=100)
+        for ref in refs:
+            l1.read(ref)
+        # refs[0] was evicted from L1 but lives in L2.
+        assert l1.entry_for(refs[0]) is None
+        assert l2.entry_for(refs[0]) is not None
+        kernel_reads_before = kernel.stats.reads
+        outcome = l1.read(refs[0])
+        assert not outcome.hit            # L1 missed...
+        assert l2.stats.hits == 1         # ...but L2 served it
+        assert kernel.stats.reads == kernel_reads_before
+
+    def test_hierarchy_consistency(self, two_level, kernel, other_user):
+        l1, l2, refs = two_level
+        l1.read(refs[0])
+        theirs = kernel.space(other_user).add_reference(refs[0].base)
+        kernel.write(theirs, b"rewritten by bob")
+        outcome = l1.read(refs[0])
+        assert not outcome.hit
+        assert outcome.content == b"rewritten by bob"
+
+
+class TestPlacementLatency:
+    def test_server_colocated_hits_cost_more(self, kernel, user):
+        refs = make_refs(kernel, user, 1, size=1000)
+        app = DocumentCache(
+            kernel, capacity_bytes=1 << 20,
+            placement=CachePlacement.APPLICATION_LEVEL, name="app",
+        )
+        server = DocumentCache(
+            kernel, capacity_bytes=1 << 20,
+            placement=CachePlacement.SERVER_COLOCATED, name="srv",
+        )
+        app.read(refs[0])
+        server.read(refs[0])
+        app_hit = app.read(refs[0]).elapsed_ms
+        server_hit = server.read(refs[0]).elapsed_ms
+        assert server_hit > app_hit
+
+
+class TestExternalDependencyProperty:
+    def test_verifier_mode_catches_change(self, kernel, user):
+        value = [1]
+        ref = kernel.import_document(
+            user, MemoryProvider(kernel.ctx, b"body"), "doc"
+        )
+        ref.attach(
+            ExternalDependencyProperty(lambda: value[0], mode="verifier")
+        )
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        first = cache.read(ref)
+        assert b"[external=1]" in first.content
+        assert cache.read(ref).hit
+        value[0] = 2
+        outcome = cache.read(ref)
+        assert not outcome.hit
+        assert b"[external=2]" in outcome.content
+
+    def test_notifier_mode_invalidates_on_poll(self, kernel, user):
+        value = [1]
+        ref = kernel.import_document(
+            user, MemoryProvider(kernel.ctx, b"body"), "doc"
+        )
+        bus = InvalidationBus(kernel.ctx)
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20, bus=bus)
+        prop = ExternalDependencyProperty(
+            lambda: value[0], mode="notifier",
+            timers=kernel.timers, bus=bus, cache_id=cache.cache_id,
+            poll_period_ms=100.0,
+        )
+        ref.attach(prop)
+        cache.read(ref)
+        value[0] = 2
+        assert cache.read(ref).hit  # notifier hasn't polled yet: stale hit
+        kernel.ctx.clock.advance(150.0)  # poll fires
+        assert prop.invalidations_pushed == 1
+        outcome = cache.read(ref)
+        assert not outcome.hit
+        assert b"[external=2]" in outcome.content
+
+    def test_notifier_mode_requires_plumbing(self):
+        with pytest.raises(PropertyError):
+            ExternalDependencyProperty(lambda: 1, mode="notifier")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PropertyError):
+            ExternalDependencyProperty(lambda: 1, mode="psychic")
+
+    def test_detach_stops_polling(self, kernel, user):
+        value = [1]
+        ref = kernel.import_document(
+            user, MemoryProvider(kernel.ctx, b"body"), "doc"
+        )
+        bus = InvalidationBus(kernel.ctx)
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20, bus=bus)
+        prop = ExternalDependencyProperty(
+            lambda: value[0], mode="notifier",
+            timers=kernel.timers, bus=bus, cache_id=cache.cache_id,
+            poll_period_ms=100.0,
+        )
+        ref.attach(prop)
+        ref.detach(prop)
+        value[0] = 2
+        kernel.ctx.clock.advance(500.0)
+        assert prop.invalidations_pushed == 0

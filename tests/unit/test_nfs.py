@@ -1,0 +1,156 @@
+"""Tests for the NFS translation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.manager import DocumentCache
+from repro.errors import BadFileHandleError, NFSError
+from repro.nfs.server import NFSServer, OpenMode
+from repro.properties.spellcheck import SpellingCorrectorProperty
+from repro.providers.memory import MemoryProvider
+
+
+@pytest.fixture
+def server(kernel):
+    return NFSServer(kernel)
+
+
+@pytest.fixture
+def mount(server, kernel, user, memory_reference):
+    mount = server.mount(user)
+    mount.bind("/docs/memo.txt", memory_reference)
+    return mount
+
+
+class TestNamespace:
+    def test_bind_and_listdir(self, mount):
+        assert mount.listdir() == ["/docs/memo.txt"]
+
+    def test_bind_foreign_reference_rejected(self, server, kernel, other_user,
+                                             memory_reference):
+        other_mount = server.mount(other_user)
+        with pytest.raises(NFSError):
+            other_mount.bind("/stolen", memory_reference)
+
+    def test_unbind(self, mount):
+        mount.unbind("/docs/memo.txt")
+        assert mount.listdir() == []
+
+    def test_unbind_missing_raises(self, mount):
+        with pytest.raises(NFSError):
+            mount.unbind("/nope")
+
+    def test_resolve_missing_raises(self, mount):
+        with pytest.raises(NFSError):
+            mount.resolve("/nope")
+
+    def test_mount_is_cached_per_user(self, server, user):
+        assert server.mount(user) is server.mount(user)
+
+    def test_mounts_listing(self, server, user, other_user):
+        server.mount(user)
+        server.mount(other_user)
+        assert len(server.mounts()) == 2
+
+
+class TestReadWrite:
+    def test_read_file(self, mount):
+        assert mount.read_file("/docs/memo.txt") == b"the quick brown fox"
+
+    def test_chunked_reads(self, mount):
+        fh = mount.open("/docs/memo.txt", "r")
+        assert mount.read(fh, 3) == b"the"
+        assert mount.read(fh, 6) == b" quick"
+        mount.close(fh)
+
+    def test_write_file_reaches_provider(self, mount, memory_reference):
+        mount.write_file("/docs/memo.txt", b"rewritten")
+        assert memory_reference.base.provider.peek() == b"rewritten"
+
+    def test_write_commits_only_on_close(self, mount, memory_reference):
+        fh = mount.open("/docs/memo.txt", "w")
+        mount.write(fh, b"partial")
+        assert memory_reference.base.provider.peek() == b"the quick brown fox"
+        mount.close(fh)
+        assert memory_reference.base.provider.peek() == b"partial"
+
+    def test_write_path_properties_apply(self, mount, memory_reference):
+        memory_reference.attach(SpellingCorrectorProperty())
+        mount.write_file("/docs/memo.txt", b"teh fox")
+        assert memory_reference.base.provider.peek() == b"the fox"
+
+    def test_handle_bookkeeping(self, mount):
+        fh = mount.open("/docs/memo.txt", "r")
+        handle = mount.open_handles()[0]
+        assert handle.fh == fh
+        assert handle.mode is OpenMode.READ
+        mount.read(fh, 5)
+        assert handle.bytes_read == 5
+        mount.close(fh)
+        assert mount.open_handles() == []
+
+    def test_read_on_write_handle_raises(self, mount):
+        fh = mount.open("/docs/memo.txt", "w")
+        with pytest.raises(NFSError):
+            mount.read(fh, 1)
+        mount.close(fh)
+
+    def test_write_on_read_handle_raises(self, mount):
+        fh = mount.open("/docs/memo.txt", "r")
+        with pytest.raises(NFSError):
+            mount.write(fh, b"x")
+        mount.close(fh)
+
+    def test_bad_handle_raises(self, mount):
+        with pytest.raises(BadFileHandleError):
+            mount.read(999, 1)
+
+    def test_unsupported_mode_raises(self, mount):
+        with pytest.raises(NFSError):
+            mount.open("/docs/memo.txt", "a")
+
+    def test_close_bad_handle_raises(self, mount):
+        with pytest.raises(BadFileHandleError):
+            mount.close(999)
+
+
+class TestCachedMount:
+    def test_reads_hit_cache(self, kernel, user, memory_reference):
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        server = NFSServer(kernel, cache=cache)
+        mount = server.mount(user)
+        mount.bind("/m", memory_reference)
+        mount.read_file("/m")
+        mount.read_file("/m")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_write_goes_through_cache(self, kernel, user, memory_reference):
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        server = NFSServer(kernel, cache=cache)
+        mount = server.mount(user)
+        mount.bind("/m", memory_reference)
+        mount.read_file("/m")
+        mount.write_file("/m", b"updated")
+        # The write invalidated the user's entry and reached the provider.
+        assert memory_reference.base.provider.peek() == b"updated"
+        assert mount.read_file("/m") == b"updated"
+
+
+class TestStat:
+    def test_stat_reports_source_attributes(self, mount, memory_reference):
+        info = mount.stat("/docs/memo.txt")
+        assert info["source_size"] == len(b"the quick brown fox")
+        assert info["document_id"] == memory_reference.base.document_id
+        assert info["reference_id"] == memory_reference.reference_id
+        assert info["properties"] == []
+
+    def test_stat_lists_properties(self, mount, memory_reference):
+        memory_reference.attach(SpellingCorrectorProperty())
+        info = mount.stat("/docs/memo.txt")
+        assert "spell-correct" in info["properties"]
+
+    def test_stat_unbound_raises(self, mount):
+        with pytest.raises(NFSError):
+            mount.stat("/nowhere")

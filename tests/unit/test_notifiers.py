@@ -1,0 +1,224 @@
+"""Tests for the invalidation bus, notifier properties and the minimum set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.consistency import Invalidation, InvalidationReason
+from repro.cache.notifiers import (
+    InvalidationBus,
+    NotifierProperty,
+    install_minimum_notifiers,
+)
+from repro.errors import NotifierError
+from repro.events.types import EventType
+from repro.placeless.properties import StaticProperty
+from repro.properties.translate import TranslationProperty
+from repro.providers.memory import MemoryProvider
+
+
+@pytest.fixture
+def world(kernel, user, other_user):
+    provider = MemoryProvider(kernel.ctx, b"shared doc")
+    base = kernel.create_document(user, provider, "doc")
+    mine = kernel.space(user).add_reference(base)
+    theirs = kernel.space(other_user).add_reference(base)
+    bus = InvalidationBus(kernel.ctx)
+    return kernel, base, mine, theirs, bus
+
+
+def collect(bus, kernel, name="sink"):
+    cache_id = kernel.ctx.ids.cache(name)
+    received = []
+    bus.register(cache_id, received.append)
+    return cache_id, received
+
+
+class TestInvalidationBus:
+    def test_delivers_to_registered_sink(self, world):
+        kernel, base, _, _, bus = world
+        cache_id, received = collect(bus, kernel)
+        invalidation = Invalidation(
+            InvalidationReason.EXPLICIT, base.document_id
+        )
+        bus.deliver(cache_id, invalidation)
+        assert received == [invalidation]
+        assert bus.stats.deliveries == 1
+        assert bus.stats.delivery_cost_ms > 0
+
+    def test_unknown_sink_drops(self, world):
+        kernel, base, _, _, bus = world
+        bus.deliver(
+            kernel.ctx.ids.cache("ghost"),
+            Invalidation(InvalidationReason.EXPLICIT, base.document_id),
+        )
+        assert bus.stats.dropped == 1
+        assert bus.stats.deliveries == 0
+
+    def test_unregister_stops_delivery(self, world):
+        kernel, base, _, _, bus = world
+        cache_id, received = collect(bus, kernel)
+        bus.unregister(cache_id)
+        bus.deliver(
+            cache_id,
+            Invalidation(InvalidationReason.EXPLICIT, base.document_id),
+        )
+        assert received == []
+
+    def test_delivery_charges_clock(self, world):
+        kernel, base, _, _, bus = world
+        cache_id, _ = collect(bus, kernel)
+        before = kernel.ctx.clock.now_ms
+        bus.deliver(
+            cache_id,
+            Invalidation(InvalidationReason.EXPLICIT, base.document_id),
+        )
+        assert kernel.ctx.clock.now_ms > before
+
+
+class TestNotifierProperty:
+    def test_fires_on_watched_event(self, world):
+        kernel, base, mine, _, bus = world
+        cache_id, received = collect(bus, kernel)
+        notifier = NotifierProperty(
+            bus, cache_id, watch={EventType.CONTENT_UPDATED}
+        )
+        base.attach(notifier)
+        mine.write_content(b"update")
+        assert len(received) == 1
+        assert received[0].reason is InvalidationReason.SOURCE_UPDATED_IN_BAND
+        assert notifier.notifications_sent == 1
+
+    def test_requires_watch_set(self, world):
+        kernel, _, _, _, bus = world
+        with pytest.raises(NotifierError):
+            NotifierProperty(bus, kernel.ctx.ids.cache("c"), watch=set())
+
+    def test_predicate_filters(self, world):
+        kernel, base, mine, theirs, bus = world
+        cache_id, received = collect(bus, kernel)
+        notifier = NotifierProperty(
+            bus,
+            cache_id,
+            watch={EventType.GET_OUTPUT_STREAM},
+            predicate=lambda event: event.user_id != mine.owner,
+        )
+        base.attach(notifier)
+        mine.write_content(b"my own write")    # filtered
+        theirs.write_content(b"their write")   # passes
+        write_open_invalidations = [
+            i for i in received
+            if i.reason is InvalidationReason.OPENED_FOR_WRITE
+        ]
+        assert len(write_open_invalidations) == 1
+        assert notifier.events_filtered >= 1
+
+    def test_static_property_changes_ignored(self, world):
+        kernel, base, _, _, bus = world
+        cache_id, received = collect(bus, kernel)
+        base.attach(
+            NotifierProperty(bus, cache_id, watch={EventType.SET_PROPERTY})
+        )
+        base.attach(StaticProperty("just a label"))
+        assert received == []
+
+    def test_transforming_property_changes_fire(self, world):
+        kernel, base, _, _, bus = world
+        cache_id, received = collect(bus, kernel)
+        base.attach(
+            NotifierProperty(
+                bus,
+                cache_id,
+                watch={EventType.SET_PROPERTY, EventType.REMOVE_PROPERTY},
+            )
+        )
+        translator = TranslationProperty()
+        base.attach(translator)
+        base.detach(translator)
+        assert [i.reason for i in received] == [
+            InvalidationReason.PROPERTY_ADDED,
+            InvalidationReason.PROPERTY_REMOVED,
+        ]
+
+    def test_infrastructure_properties_ignored(self, world):
+        kernel, base, _, _, bus = world
+        cache_id, received = collect(bus, kernel)
+        base.attach(
+            NotifierProperty(bus, cache_id, watch={EventType.SET_PROPERTY})
+        )
+        # Attaching another notifier must not trigger the first.
+        base.attach(
+            NotifierProperty(
+                bus, cache_id, watch={EventType.CONTENT_UPDATED},
+                name="second-notifier",
+            )
+        )
+        assert received == []
+
+    def test_scope_user_carried_on_invalidation(self, world):
+        kernel, base, mine, theirs, bus = world
+        cache_id, received = collect(bus, kernel)
+        notifier = NotifierProperty(
+            bus,
+            cache_id,
+            watch={EventType.CONTENT_UPDATED},
+            scope_user=mine.owner,
+        )
+        base.attach(notifier)
+        theirs.write_content(b"x")
+        assert received[0].user_id == mine.owner
+
+
+class TestMinimumNotifiers:
+    def test_installs_three(self, world):
+        kernel, base, mine, _, bus = world
+        cache_id, _ = collect(bus, kernel)
+        installed = install_minimum_notifiers(mine, bus, cache_id)
+        assert len(installed) == 3
+        sites = sorted(p.site.value for p in installed)
+        assert sites == ["base", "base", "reference"]
+
+    def test_idempotent_per_user(self, world):
+        kernel, base, mine, _, bus = world
+        cache_id, _ = collect(bus, kernel)
+        install_minimum_notifiers(mine, bus, cache_id)
+        again = install_minimum_notifiers(mine, bus, cache_id)
+        assert again == []
+
+    def test_second_user_adds_only_write_watch(self, world):
+        kernel, base, mine, theirs, bus = world
+        cache_id, _ = collect(bus, kernel)
+        install_minimum_notifiers(mine, bus, cache_id)
+        second = install_minimum_notifiers(theirs, bus, cache_id)
+        # base property watch is shared; per-user write watch and the
+        # reference watch are new.
+        assert len(second) == 2
+
+    def test_other_users_write_invalidates_me(self, world):
+        kernel, base, mine, theirs, bus = world
+        cache_id, received = collect(bus, kernel)
+        install_minimum_notifiers(mine, bus, cache_id)
+        theirs.write_content(b"their update")
+        reasons = {i.reason for i in received}
+        assert InvalidationReason.OPENED_FOR_WRITE in reasons
+
+    def test_my_own_write_does_not_notify_me(self, world):
+        kernel, base, mine, _, bus = world
+        cache_id, received = collect(bus, kernel)
+        install_minimum_notifiers(mine, bus, cache_id)
+        mine.write_content(b"my update")
+        assert all(
+            i.reason is not InvalidationReason.OPENED_FOR_WRITE
+            for i in received
+        )
+
+    def test_personal_property_watch(self, world):
+        kernel, base, mine, _, bus = world
+        cache_id, received = collect(bus, kernel)
+        install_minimum_notifiers(mine, bus, cache_id)
+        mine.attach(TranslationProperty())
+        assert any(
+            i.reason is InvalidationReason.PROPERTY_ADDED
+            and i.user_id == mine.owner
+            for i in received
+        )

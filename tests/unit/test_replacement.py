@@ -1,0 +1,199 @@
+"""Tests for the replacement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cacheability import Cacheability
+from repro.cache.entry import CacheEntry, EntryKey
+from repro.cache.replacement import (
+    FIFOPolicy,
+    GreedyDualPolicy,
+    GreedyDualSizePolicy,
+    LFUPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    SizePolicy,
+    make_policy,
+)
+from repro.content.signature import sign
+from repro.errors import CacheError
+from repro.ids import DocumentId, UserId
+
+
+def make_entry(name: str, size: int = 100, cost: float = 1.0) -> CacheEntry:
+    return CacheEntry(
+        key=EntryKey(DocumentId(name), UserId("u")),
+        signature=sign(name.encode()),
+        size=size,
+        cacheability=Cacheability.UNRESTRICTED,
+        verifiers=[],
+        replacement_cost_ms=cost,
+        chain_signature=(),
+        reference_id=None,
+        created_at_ms=0.0,
+        last_access_ms=0.0,
+    )
+
+
+def register(policy, entries):
+    table = {}
+    for entry in entries:
+        table[entry.key] = entry
+        policy.on_insert(entry)
+    return table
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        policy = LRUPolicy()
+        entries = [make_entry("a"), make_entry("b"), make_entry("c")]
+        table = register(policy, entries)
+        policy.on_access(entries[0])  # refresh "a"
+        victim = policy.select_victim(table)
+        assert victim == entries[1].key
+
+    def test_empty_raises(self):
+        with pytest.raises(CacheError):
+            LRUPolicy().select_victim({})
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        policy = LFUPolicy()
+        entries = [make_entry("a"), make_entry("b")]
+        table = register(policy, entries)
+        for _ in range(3):
+            entries[0].access_count += 1
+            policy.on_access(entries[0])
+        assert policy.select_victim(table) == entries[1].key
+
+
+class TestFIFO:
+    def test_evicts_oldest_insert_despite_access(self):
+        policy = FIFOPolicy()
+        entries = [make_entry("a"), make_entry("b")]
+        table = register(policy, entries)
+        policy.on_access(entries[0])  # must not refresh under FIFO
+        assert policy.select_victim(table) == entries[0].key
+
+
+class TestSize:
+    def test_evicts_largest(self):
+        policy = SizePolicy()
+        entries = [make_entry("small", size=10), make_entry("big", size=1000)]
+        table = register(policy, entries)
+        assert policy.select_victim(table) == entries[1].key
+
+
+class TestGreedyDualSize:
+    def test_prefers_evicting_cheap_per_byte(self):
+        policy = GreedyDualSizePolicy()
+        cheap = make_entry("cheap", size=100, cost=1.0)
+        precious = make_entry("precious", size=100, cost=100.0)
+        table = register(policy, [cheap, precious])
+        assert policy.select_victim(table) == cheap.key
+
+    def test_size_normalizes_cost(self):
+        policy = GreedyDualSizePolicy()
+        # same cost, bigger object -> lower H -> evicted first
+        big = make_entry("big", size=10_000, cost=10.0)
+        small = make_entry("small", size=10, cost=10.0)
+        table = register(policy, [big, small])
+        assert policy.select_victim(table) == big.key
+
+    def test_inflation_rises_monotonically(self):
+        policy = GreedyDualSizePolicy()
+        entries = [make_entry(f"e{i}", cost=float(i + 1)) for i in range(4)]
+        table = register(policy, entries)
+        previous = policy.inflation
+        for _ in range(3):
+            victim = policy.select_victim(table)
+            del table[victim]
+            assert policy.inflation >= previous
+            previous = policy.inflation
+
+    def test_recently_accessed_survives_via_inflation(self):
+        # The aging mechanism: after enough evictions, an old expensive
+        # entry can still be evicted in favour of newly-accessed cheap
+        # ones because new pushes start at the inflated baseline.
+        policy = GreedyDualSizePolicy()
+        old = make_entry("old", size=100, cost=50.0)
+        table = {old.key: old}
+        policy.on_insert(old)
+        policy.inflation = 10.0  # simulate a long-running cache
+        fresh = make_entry("fresh", size=100, cost=1.0)
+        table[fresh.key] = fresh
+        policy.on_insert(fresh)
+        # fresh H = 10 + 0.01 > old H = 0 + 0.5 -> old goes first.
+        assert policy.select_victim(table) == old.key
+
+    def test_frequency_aware_variant(self):
+        policy = GreedyDualSizePolicy(frequency_aware=True)
+        popular = make_entry("popular", size=100, cost=1.0)
+        unpopular = make_entry("unpopular", size=100, cost=1.0)
+        table = register(policy, [popular, unpopular])
+        popular.access_count = 10
+        policy.on_access(popular)
+        assert policy.select_victim(table) == unpopular.key
+
+    def test_cost_blind_ignores_cost(self):
+        policy = GreedyDualSizePolicy(cost_source="uniform")
+        cheap = make_entry("cheap", size=100, cost=1.0)
+        precious = make_entry("precious", size=100, cost=1000.0)
+        table = register(policy, [cheap, precious])
+        # Equal sizes, uniform cost: first insert pops first (FIFO tie).
+        assert policy.select_victim(table) == cheap.key
+        policy2 = GreedyDualSizePolicy(cost_source="uniform")
+        table2 = register(policy2, [precious, cheap])
+        assert policy2.select_victim(table2) == precious.key
+
+    def test_invalid_cost_source_raises(self):
+        with pytest.raises(CacheError):
+            GreedyDualSizePolicy(cost_source="bogus")
+
+    def test_stale_heap_items_skipped(self):
+        policy = GreedyDualSizePolicy()
+        entry = make_entry("e", cost=1.0)
+        table = {entry.key: entry}
+        policy.on_insert(entry)
+        for _ in range(5):
+            policy.on_access(entry)  # five stale items + one live
+        assert policy.select_victim(table) == entry.key
+
+
+class TestGreedyDual:
+    def test_size_blind_cost_aware(self):
+        policy = GreedyDualPolicy()
+        small_cheap = make_entry("a", size=10, cost=1.0)
+        big_precious = make_entry("b", size=10_000, cost=100.0)
+        table = register(policy, [small_cheap, big_precious])
+        assert policy.select_victim(table) == small_cheap.key
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        entries = [make_entry(f"e{i}") for i in range(10)]
+        table = {e.key: e for e in entries}
+        first = RandomPolicy(seed=5).select_victim(dict(table))
+        second = RandomPolicy(seed=5).select_victim(dict(table))
+        assert first == second
+
+    def test_empty_raises(self):
+        with pytest.raises(CacheError):
+            RandomPolicy().select_victim({})
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name",
+        ["gds", "gdsf", "gds-costblind", "gd", "lru", "lfu", "fifo", "size",
+         "random"],
+    )
+    def test_known_names(self, name):
+        policy = make_policy(name)
+        assert policy.name == name or policy.name.startswith(name.split("-")[0])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CacheError):
+            make_policy("clock-pro")

@@ -1,0 +1,196 @@
+"""Tests for the trace runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.manager import DocumentCache
+from repro.errors import WorkloadError
+from repro.placeless.kernel import PlacelessKernel
+from repro.workload.documents import CorpusSpec, build_corpus
+from repro.workload.runner import TraceRunner
+from repro.workload.trace import (
+    TraceEvent,
+    TraceEventKind,
+    TraceSpec,
+    generate_trace,
+)
+from repro.workload.users import build_population
+
+
+@pytest.fixture
+def world():
+    kernel = PlacelessKernel()
+    owner = kernel.create_user("owner")
+    corpus = build_corpus(
+        kernel, owner,
+        CorpusSpec(n_documents=6, ttl_ms=3_600_000.0, seed=3),
+    )
+    population = build_population(
+        kernel, corpus, n_users=2, personalized_fraction=0.0, seed=3
+    )
+    return kernel, corpus, population
+
+
+def ev(kind, doc=0, user=0, detail=1, think=0.0):
+    return TraceEvent(
+        kind=kind, document_index=doc, user_index=user,
+        think_time_ms=think, detail=detail,
+    )
+
+
+class TestValidation:
+    def test_ragged_reference_matrix_rejected(self, world):
+        kernel, corpus, population = world
+        with pytest.raises(WorkloadError):
+            TraceRunner(kernel, corpus, [population.references[0][:3]])
+
+    def test_cache_count_must_match_users(self, world):
+        kernel, corpus, population = world
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        with pytest.raises(WorkloadError):
+            TraceRunner(
+                kernel, corpus, population.references, caches=[cache]
+            )
+
+
+class TestEventExecution:
+    def test_reads_counted_with_and_without_cache(self, world):
+        kernel, corpus, population = world
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        runner = TraceRunner(
+            kernel, corpus, population.references, caches=cache
+        )
+        report = runner.execute([
+            ev(TraceEventKind.READ, doc=0),
+            ev(TraceEventKind.READ, doc=0),
+            ev(TraceEventKind.READ, doc=1, user=1),
+        ])
+        assert report.reads == 3
+        assert report.hits == 1
+        assert report.hit_ratio == pytest.approx(1 / 3)
+        assert report.mean_read_latency_ms > 0
+
+    def test_uncached_runner(self, world):
+        kernel, corpus, population = world
+        runner = TraceRunner(kernel, corpus, population.references)
+        report = runner.execute([ev(TraceEventKind.READ)] * 3)
+        assert report.reads == 3
+        assert report.hits == 0
+
+    def test_write_by_writer_principal(self, world):
+        kernel, corpus, population = world
+        runner = TraceRunner(kernel, corpus, population.references)
+        before = corpus[0].provider.peek()
+        report = runner.execute([ev(TraceEventKind.WRITE, detail=99)])
+        assert report.writes == 1
+        assert corpus[0].provider.peek() != before
+        # The writer principal exists and holds a reference.
+        assert runner._writer is not None
+
+    def test_write_via_cache(self, world):
+        kernel, corpus, population = world
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        runner = TraceRunner(
+            kernel, corpus, population.references,
+            caches=cache, writes_via_cache=True,
+        )
+        runner.execute([ev(TraceEventKind.WRITE, detail=5)])
+        assert cache.stats.writes_through == 1
+
+    def test_out_of_band_update_changes_bytes(self, world):
+        kernel, corpus, population = world
+        runner = TraceRunner(kernel, corpus, population.references)
+        before = corpus[2].provider.peek()
+        report = runner.execute(
+            [ev(TraceEventKind.OUT_OF_BAND_UPDATE, doc=2, detail=7)]
+        )
+        assert report.out_of_band_updates == 1
+        assert corpus[2].provider.peek() != before
+        assert kernel.stats.writes == 0  # truly out of band
+
+    def test_property_toggle(self, world):
+        kernel, corpus, population = world
+        runner = TraceRunner(kernel, corpus, population.references)
+        reference = population.reference(0, 0)
+        report = runner.execute([
+            ev(TraceEventKind.PROPERTY_CHANGE),
+            ev(TraceEventKind.PROPERTY_CHANGE),
+        ])
+        assert report.property_attaches == 1
+        assert report.property_detaches == 1
+        assert not reference.has_property("runner-translate")
+
+    def test_reorder_needs_two_properties(self, world):
+        kernel, corpus, population = world
+        runner = TraceRunner(kernel, corpus, population.references)
+        report = runner.execute([ev(TraceEventKind.PROPERTY_REORDER)])
+        assert report.reorders == 0  # nothing to rotate
+        runner.execute([
+            ev(TraceEventKind.PROPERTY_CHANGE),  # attach translator
+        ])
+        from repro.properties.spellcheck import SpellingCorrectorProperty
+        population.reference(0, 0).attach(SpellingCorrectorProperty())
+        report = runner.execute([ev(TraceEventKind.PROPERTY_REORDER)])
+        assert report.reorders == 1
+
+    def test_external_changes_accumulate(self, world):
+        kernel, corpus, population = world
+        runner = TraceRunner(kernel, corpus, population.references)
+        report = runner.execute([
+            ev(TraceEventKind.EXTERNAL_CHANGE, doc=1),
+            ev(TraceEventKind.EXTERNAL_CHANGE, doc=1),
+            ev(TraceEventKind.EXTERNAL_CHANGE, doc=4),
+        ])
+        assert report.external_changes == 3
+        assert runner.external_value(1) == 2
+        assert runner.external_value(4) == 1
+        assert runner.external_value(0) == 0
+        assert report.externals == {1: 2, 4: 1}
+
+    def test_think_time_advances_clock(self, world):
+        kernel, corpus, population = world
+        runner = TraceRunner(kernel, corpus, population.references)
+        before = kernel.ctx.clock.now_ms
+        runner.execute([ev(TraceEventKind.READ, think=500.0)])
+        assert kernel.ctx.clock.now_ms >= before + 500.0
+
+
+class TestEndToEnd:
+    def test_generated_trace_executes_cleanly(self, world):
+        kernel, corpus, population = world
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        runner = TraceRunner(
+            kernel, corpus, population.references, caches=cache
+        )
+        spec = TraceSpec(
+            n_events=300, n_documents=6, n_users=2,
+            p_write=0.05, p_out_of_band=0.05,
+            p_property_change=0.03, p_property_reorder=0.02,
+            p_external_change=0.03, seed=11,
+        )
+        report = runner.execute(generate_trace(spec))
+        assert report.events == 300
+        assert report.reads > 200
+        assert report.hit_ratio > 0.3
+        # Reads through the cache always return current transformed
+        # content; spot-check one document.
+        outcome = cache.read(population.reference(0, 0))
+        fresh = kernel.read(population.reference(0, 0)).content
+        assert outcome.content == fresh
+
+    def test_per_user_caches(self, world):
+        kernel, corpus, population = world
+        caches = [
+            DocumentCache(kernel, capacity_bytes=1 << 20, name=f"u{i}")
+            for i in range(2)
+        ]
+        runner = TraceRunner(
+            kernel, corpus, population.references, caches=caches
+        )
+        runner.execute([
+            ev(TraceEventKind.READ, doc=0, user=0),
+            ev(TraceEventKind.READ, doc=0, user=1),
+        ])
+        assert caches[0].stats.misses == 1
+        assert caches[1].stats.misses == 1

@@ -1,0 +1,82 @@
+"""Tests for the simulation context helpers and assorted small surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.providers.memory import MemoryProvider
+from repro.sim.context import SimContext
+from repro.streams.base import BytesInputStream
+from repro.streams.transforms import BufferedTransformInputStream
+
+
+class TestSimContext:
+    def test_charge_hop_advances_clock_and_returns_cost(self):
+        ctx = SimContext()
+        cost = ctx.charge_hop("local", 1024)
+        assert cost > 0
+        assert ctx.now_ms == pytest.approx(cost)
+
+    def test_charge_repository(self):
+        ctx = SimContext()
+        cost = ctx.charge_repository("nfs", 2048)
+        assert cost == pytest.approx(
+            ctx.latency.repository_cost_ms("nfs", 2048)
+        )
+        assert ctx.clock.total_charged_ms == pytest.approx(cost)
+
+    def test_charge_arbitrary(self):
+        ctx = SimContext()
+        assert ctx.charge(2.5) == 2.5
+        assert ctx.now_ms == 2.5
+
+    def test_independent_contexts_do_not_interact(self):
+        first = SimContext()
+        second = SimContext()
+        first.charge(100.0)
+        assert second.now_ms == 0.0
+        # id generators are independent too
+        assert first.ids.document().value == second.ids.document().value
+
+    def test_rng_is_seeded(self):
+        assert SimContext().rng.random() == SimContext().rng.random()
+
+
+class TestProviderCounters:
+    def test_fetch_and_store_counters(self):
+        ctx = SimContext()
+        provider = MemoryProvider(ctx, b"x")
+        provider.fetch()
+        provider.fetch()
+        provider.store(b"y")
+        assert provider.fetch_count == 2
+        assert provider.store_count == 1
+
+    def test_out_of_band_not_counted_as_store(self):
+        ctx = SimContext()
+        provider = MemoryProvider(ctx, b"x")
+        provider.mutate_out_of_band(b"y")
+        assert provider.store_count == 0
+
+
+class TestStreamEdges:
+    def test_buffered_transform_close_before_read(self):
+        inner = BytesInputStream(b"data")
+        stream = BufferedTransformInputStream(inner, lambda d: d)
+        stream.close()
+        assert inner.closed
+
+    def test_buffered_transform_lazy(self):
+        calls = []
+
+        def transform(data: bytes) -> bytes:
+            calls.append(data)
+            return data
+
+        stream = BufferedTransformInputStream(
+            BytesInputStream(b"data"), transform
+        )
+        assert calls == []           # nothing until first read
+        stream.read(1)
+        stream.read(1)
+        assert calls == [b"data"]    # transformed exactly once
