@@ -56,6 +56,13 @@ from repro.cache import (
 )
 from repro.errors import PlacelessError
 from repro.events import Event, EventType
+from repro.faults import (
+    FaultPlan,
+    FaultStats,
+    OutageWindow,
+    RetryPolicy,
+    standard_chaos_scenario,
+)
 from repro.ids import (
     CacheId,
     DocumentId,
@@ -158,6 +165,12 @@ __all__ = [
     # NFS façade
     "NFSServer",
     "NFSMount",
+    # fault injection
+    "FaultPlan",
+    "FaultStats",
+    "OutageWindow",
+    "RetryPolicy",
+    "standard_chaos_scenario",
     # tooling
     "EventRecorder",
     "TraceRunner",

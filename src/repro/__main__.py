@@ -2,8 +2,9 @@
 
 Commands
 --------
-``bench [EXPERIMENT]``
-    Run one experiment (``table1``, ``a1`` … ``a10``) or all of them.
+``bench [EXPERIMENT] [--faults]``
+    Run one experiment (``table1``, ``a1`` … ``a12``) or all of them;
+    ``--faults`` runs it under the standard chaos fault scenario.
 ``demo``
     Run the quickstart scenario inline (no file needed).
 ``info``
@@ -30,27 +31,45 @@ _EXPERIMENT_MODULES = {
     "a9": "repro.bench.collections",
     "a10": "repro.bench.external",
     "a11": "repro.bench.writes",
+    "a12": "repro.bench.faults",
+    "faults": "repro.bench.faults",
 }
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     import importlib
 
-    if args.experiment == "all":
-        from repro.bench.__main__ import main as run_all
-
-        run_all()
-        return 0
-    module_name = _EXPERIMENT_MODULES.get(args.experiment)
-    if module_name is None:
-        print(
-            f"unknown experiment {args.experiment!r}; "
-            f"choose from: all, {', '.join(_EXPERIMENT_MODULES)}",
-            file=sys.stderr,
+    if getattr(args, "faults", False):
+        # Every SimContext built from here on carries the standard chaos
+        # scenario (lossy/delayed notifiers, flaky verifiers): faults the
+        # caches absorb, so fault-unaware experiments still complete.
+        from repro.faults import (
+            set_default_fault_scenario,
+            standard_chaos_scenario,
         )
-        return 2
-    importlib.import_module(module_name).main()
-    return 0
+
+        set_default_fault_scenario(standard_chaos_scenario)
+    try:
+        if args.experiment == "all":
+            from repro.bench.__main__ import main as run_all
+
+            run_all()
+            return 0
+        module_name = _EXPERIMENT_MODULES.get(args.experiment)
+        if module_name is None:
+            print(
+                f"unknown experiment {args.experiment!r}; "
+                f"choose from: all, {', '.join(_EXPERIMENT_MODULES)}",
+                file=sys.stderr,
+            )
+            return 2
+        importlib.import_module(module_name).main()
+        return 0
+    finally:
+        if getattr(args, "faults", False):
+            from repro.faults import clear_default_fault_scenario
+
+            clear_default_fault_scenario()
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -98,7 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser("bench", help="run experiments")
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a11, or all (default)",
+        help="table1, a1..a12, faults, or all (default)",
+    )
+    bench.add_argument(
+        "--faults", action="store_true",
+        help="inject the standard chaos fault scenario (lossy notifier "
+        "bus, flaky verifiers) into every simulation context",
     )
     bench.set_defaults(func=_cmd_bench)
 

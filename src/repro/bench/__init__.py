@@ -14,7 +14,9 @@ One module per experiment in DESIGN.md's index:
 * :mod:`repro.bench.invalidation` — A5, the four consistency classes
   end-to-end;
 * :mod:`repro.bench.qos` — A6, QoS cost inflation under pressure;
-* :mod:`repro.bench.chains` — A7, latency vs. property-chain length.
+* :mod:`repro.bench.chains` — A7, latency vs. property-chain length;
+* :mod:`repro.bench.faults` — A12, availability and degraded serves
+  under injected faults (outages, lossy notifier bus, flaky fetches).
 
 Each module exposes ``run_*`` returning structured rows and a ``main()``
 that prints the paper-style table; ``python -m repro.bench`` runs all.

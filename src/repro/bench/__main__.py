@@ -7,6 +7,7 @@ from repro.bench import (
     chains,
     collections,
     external,
+    faults,
     invalidation,
     notifier_verifier,
     placement,
@@ -30,6 +31,7 @@ _EXPERIMENTS = (
     ("A9 collection prefetch", collections),
     ("A10 external-dependency placement", external),
     ("A11 write modes", writes),
+    ("A12 fault injection", faults),
 )
 
 

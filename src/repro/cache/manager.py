@@ -41,6 +41,7 @@ from repro.ids import CacheId, DocumentId, UserId
 from repro.sim.topology import CachePlacement, Topology
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.retry import RetryPolicy
     from repro.placeless.kernel import PlacelessKernel
     from repro.placeless.reference import DocumentReference
 
@@ -71,8 +72,16 @@ class CacheReadOutcome:
     hit: bool
     elapsed_ms: float
     #: "hit", "revalidated", "miss", "miss-verifier", "miss-invalidated",
-    #: "uncacheable", or "miss-oversize".
+    #: "uncacheable", "miss-oversize", "miss-adopted", or a degraded
+    #: mode: "stale-on-error" (bounded stale bytes served because the
+    #: refetch failed) / "miss-degraded" (fetched past a failed backing
+    #: level).
     disposition: str
+
+    @property
+    def degraded(self) -> bool:
+        """True when this read was answered in a degradation mode."""
+        return self.disposition in ("stale-on-error", "miss-degraded")
 
     @property
     def size(self) -> int:
@@ -122,6 +131,27 @@ class DocumentCache:
         repository is offline), serve the stale bytes instead of raising
         — availability over freshness, the choice web proxies make.  Off
         by default.
+    stale_serve_max_age_ms:
+        Staleness bound for ``serve_stale_on_error``: stale bytes older
+        than this (measured from fill time on the virtual clock) are
+        *not* served and the read fails instead.  ``None`` (default)
+        serves stale bytes of any age.
+    retry_policy:
+        Optional :class:`~repro.faults.retry.RetryPolicy` applied to
+        miss-path fetches and write-back flushes.  Backoff waits are
+        charged to the virtual clock and counted in
+        :attr:`CacheStats.retries` / :attr:`CacheStats.retry_delay_ms`.
+    verifier_quarantine_threshold:
+        When set, a verifier (keyed by document and verifier type) that
+        *raises* this many consecutive times is quarantined: entries
+        carrying it are dropped on access and every read forces a miss,
+        trading verification cost and trust for availability, until
+        :meth:`lift_quarantines` re-enables it.  ``None`` (default)
+        disables quarantining.
+    bypass_backing_on_error:
+        When a fetch through the ``backing`` (second-level) cache fails,
+        go straight to the kernel instead — degraded operation past a
+        failed intermediate level.  Off by default.
     share_across_users:
         §3's signature-adoption optimization: "for subsequent accesses,
         content entries could be shared ... On a cache miss for an
@@ -149,11 +179,28 @@ class DocumentCache:
         backing: "DocumentCache | None" = None,
         share_across_users: bool = False,
         serve_stale_on_error: bool = False,
+        stale_serve_max_age_ms: float | None = None,
+        retry_policy: "RetryPolicy | None" = None,
+        verifier_quarantine_threshold: int | None = None,
+        bypass_backing_on_error: bool = False,
         name: str = "cache",
     ) -> None:
         if capacity_bytes <= 0:
             raise CacheCapacityError(
                 f"capacity must be positive: {capacity_bytes}"
+            )
+        if stale_serve_max_age_ms is not None and stale_serve_max_age_ms < 0:
+            raise CacheError(
+                "stale_serve_max_age_ms must be non-negative: "
+                f"{stale_serve_max_age_ms}"
+            )
+        if (
+            verifier_quarantine_threshold is not None
+            and verifier_quarantine_threshold < 1
+        ):
+            raise CacheError(
+                "verifier_quarantine_threshold must be >= 1: "
+                f"{verifier_quarantine_threshold}"
             )
         self.kernel = kernel
         self.ctx = kernel.ctx
@@ -167,6 +214,10 @@ class DocumentCache:
         self.backing = backing
         self.share_across_users = share_across_users
         self.serve_stale_on_error = serve_stale_on_error
+        self.stale_serve_max_age_ms = stale_serve_max_age_ms
+        self.retry_policy = retry_policy
+        self.verifier_quarantine_threshold = verifier_quarantine_threshold
+        self.bypass_backing_on_error = bypass_backing_on_error
         if placement is None:
             self._topology = self.ctx.topology
         else:
@@ -175,6 +226,10 @@ class DocumentCache:
         self.stats = CacheStats()
         self.store = ContentStore()
         self._entries: dict[EntryKey, CacheEntry] = {}
+        #: Consecutive raise-failures per (document, verifier type), and
+        #: the keys currently quarantined.
+        self._verifier_failures: dict[tuple[DocumentId, str], int] = {}
+        self._quarantined: set[tuple[DocumentId, str]] = set()
         self._dirty: dict[EntryKey, tuple["DocumentReference", bytes]] = {}
         self._prefetch_queue: list["DocumentReference"] = []
         self._draining_prefetch = False
@@ -258,17 +313,15 @@ class DocumentCache:
             self.flush(reference)
 
         entry = self._entries.get(key)
-        stale_content: bytes | None = None
+        stale: tuple[bytes, float] | None = None
         if entry is not None:
-            outcome, stale_content = self._try_hit(
-                reference, entry, started_ms
-            )
+            outcome, stale = self._try_hit(reference, entry, started_ms)
             if outcome is not None:
                 if entry.policy_state.get("prefetched"):
                     self.stats.prefetched_hits += 1
                     entry.policy_state["prefetched"] = False
                 return outcome
-        return self._miss(reference, key, started_ms, stale_content)
+        return self._miss(reference, key, started_ms, stale)
 
     # -- collection prefetch (§5 "related documents") -------------------------
 
@@ -312,32 +365,49 @@ class DocumentCache:
         reference: "DocumentReference",
         entry: CacheEntry,
         started_ms: float,
-    ) -> tuple[CacheReadOutcome | None, bytes | None]:
+    ) -> tuple[CacheReadOutcome | None, tuple[bytes, float] | None]:
         """Serve a hit if the verifiers agree.
 
-        Returns ``(outcome, None)`` on a hit, or ``(None, stale_bytes)``
-        when a verifier invalidated the entry — the caller falls through
-        to the miss path, keeping the stale bytes available for
-        serve-stale-on-error.
+        Returns ``(outcome, None)`` on a hit, or ``(None, (stale_bytes,
+        filled_at_ms))`` when a verifier invalidated the entry — the
+        caller falls through to the miss path, keeping the stale bytes
+        (and their age) available for bounded serve-stale-on-error.
         """
         content = self.store.get(entry.signature)
+        stale = (content, entry.created_at_ms)
         disposition = "hit"
         # "cache hit" latency: the local (or app→server) hop only.
         for hop in self._topology.hit_path():
             self.ctx.charge_hop(hop, entry.size)
 
         if self.use_verifiers:
+            if self._entry_quarantined(entry):
+                # A repeatedly-failing verifier guards this entry: the
+                # entry cannot be trusted and the verifier cannot be
+                # afforded — force a miss instead of verifying.
+                self._drop(entry, InvalidationReason.VERIFIER_FAILED,
+                           origin="quarantine")
+                self.stats.quarantine_forced_misses += 1
+                return None, stale
             for verifier in entry.verifiers:
                 self.stats.verifier_executions += 1
                 self.stats.verifier_cost_ms += verifier.cost_ms
                 self.ctx.charge(verifier.cost_ms)
                 try:
+                    if self.ctx.faults is not None:
+                        self.ctx.faults.check_verifier(
+                            verifier.cost_ms,
+                            label=type(verifier).__name__,
+                        )
                     result = verifier.run(self.ctx.clock.now_ms, content)
                 except Exception:
+                    self._note_verifier_failure(entry, verifier)
                     self._drop(entry, InvalidationReason.VERIFIER_FAILED,
                                origin="verifier")
                     self.stats.verifier_invalidations += 1
-                    return None, content
+                    self._note_verifier_caught_lost(entry)
+                    return None, (content, entry.created_at_ms)
+                self._note_verifier_success(entry, verifier)
                 if result.verdict is Verdict.INVALID:
                     reason = (
                         InvalidationReason.SOURCE_UPDATED_OUT_OF_BAND
@@ -346,7 +416,8 @@ class DocumentCache:
                     )
                     self._drop(entry, reason, origin="verifier")
                     self.stats.verifier_invalidations += 1
-                    return None, content
+                    self._note_verifier_caught_lost(entry)
+                    return None, (content, entry.created_at_ms)
                 if result.verdict is Verdict.REVALIDATED:
                     content = result.patched_content or b""
                     self._replace_content(entry, content)
@@ -384,14 +455,74 @@ class DocumentCache:
         outcome = self.kernel.read(reference)
         return outcome.content, outcome.meta
 
+    def _fetch_with_retry(self, reference: "DocumentReference"):
+        """Fetch from the level below under the retry policy, if any."""
+        if self.retry_policy is None:
+            return self._fetch(reference)
+        return self.retry_policy.call(
+            self.ctx,
+            lambda: self._fetch(reference),
+            on_retry=self._count_retry,
+        )
+
+    def _count_retry(
+        self, attempt: int, delay_ms: float, error: BaseException
+    ) -> None:
+        self.stats.retries += 1
+        self.stats.retry_delay_ms += delay_ms
+
+    def _bypass_backing(self, reference: "DocumentReference"):
+        """Degraded fetch past a failed backing level, or ``None``.
+
+        When the second-level cache is unreachable, a cache configured
+        with ``bypass_backing_on_error`` goes straight to the kernel —
+        the content is fresh, only the hierarchy is degraded.
+        """
+        if self.backing is None or not self.bypass_backing_on_error:
+            return None
+        try:
+            outcome = self.kernel.read(reference)
+        except Exception:
+            return None
+        self.stats.backing_bypasses += 1
+        self.stats.degraded_serves += 1
+        return outcome.content, outcome.meta
+
+    def _serve_stale(
+        self, stale: tuple[bytes, float] | None, started_ms: float
+    ) -> CacheReadOutcome | None:
+        """Bounded serve-stale-on-error, or ``None`` if not permitted."""
+        if not self.serve_stale_on_error or stale is None:
+            return None
+        content, filled_at_ms = stale
+        if self.stale_serve_max_age_ms is not None:
+            age_ms = self.ctx.clock.now_ms - filled_at_ms
+            if age_ms > self.stale_serve_max_age_ms:
+                self.stats.stale_serve_rejected += 1
+                return None
+        elapsed = self.ctx.clock.now_ms - started_ms
+        self.stats.misses += 1
+        self.stats.miss_latency_ms += elapsed
+        self.stats.stale_served_on_error += 1
+        self.stats.degraded_serves += 1
+        return CacheReadOutcome(
+            content=content, hit=False, elapsed_ms=elapsed,
+            disposition="stale-on-error",
+        )
+
     def _miss(
         self,
         reference: "DocumentReference",
         key: EntryKey,
         started_ms: float,
-        stale_content: bytes | None = None,
+        stale: tuple[bytes, float] | None = None,
     ) -> CacheReadOutcome:
-        """Full read through the level below, then fill if cacheable."""
+        """Full read through the level below, then fill if cacheable.
+
+        On fetch failure (after any retries) the degradation cascade
+        runs: fresh content fetched past a failed backing level first,
+        bounded stale bytes second, and only then does the read fail.
+        """
         if self.share_across_users:
             adopted = self._try_adopt(reference, key)
             if adopted is not None:
@@ -404,22 +535,22 @@ class DocumentCache:
                     elapsed_ms=elapsed,
                     disposition="miss-adopted",
                 )
+        degraded = False
         try:
-            content, meta = self._fetch(reference)
+            content, meta = self._fetch_with_retry(reference)
         except CacheError:
             raise
         except Exception:
-            if self.serve_stale_on_error and stale_content is not None:
-                elapsed = self.ctx.clock.now_ms - started_ms
-                self.stats.misses += 1
-                self.stats.miss_latency_ms += elapsed
-                self.stats.stale_served_on_error += 1
-                return CacheReadOutcome(
-                    content=stale_content, hit=False, elapsed_ms=elapsed,
-                    disposition="stale-on-error",
-                )
-            raise
-        disposition = "miss"
+            self.stats.fetch_failures += 1
+            recovered = self._bypass_backing(reference)
+            if recovered is None:
+                outcome = self._serve_stale(stale, started_ms)
+                if outcome is None:
+                    raise
+                return outcome
+            content, meta = recovered
+            degraded = True
+        disposition = "miss-degraded" if degraded else "miss"
 
         if not meta.cacheability.allows_caching:
             self.stats.uncacheable_reads += 1
@@ -467,7 +598,7 @@ class DocumentCache:
                     self.store.get(adopted.signature),
                     self._meta_from_entry(adopted),
                 )
-        content, meta = self._fetch(reference)
+        content, meta = self._fetch_with_retry(reference)
         if not meta.cacheability.allows_caching:
             self.stats.uncacheable_reads += 1
         elif len(content) <= self.capacity_bytes:
@@ -633,6 +764,65 @@ class DocumentCache:
                 return False
         return True
 
+    # -- verifier quarantine (graceful degradation) ---------------------------
+
+    @staticmethod
+    def _verifier_fault_key(
+        entry: CacheEntry, verifier
+    ) -> tuple[DocumentId, str]:
+        """Quarantine key: stable across refills (which rebuild verifier
+        objects), so repeated failures accumulate per document and
+        verifier type rather than per object."""
+        return (entry.document_id, type(verifier).__name__)
+
+    def _note_verifier_failure(self, entry: CacheEntry, verifier) -> None:
+        if self.verifier_quarantine_threshold is None:
+            return
+        key = self._verifier_fault_key(entry, verifier)
+        count = self._verifier_failures.get(key, 0) + 1
+        self._verifier_failures[key] = count
+        if (
+            count >= self.verifier_quarantine_threshold
+            and key not in self._quarantined
+        ):
+            self._quarantined.add(key)
+            self.stats.quarantined_verifiers += 1
+
+    def _note_verifier_success(self, entry: CacheEntry, verifier) -> None:
+        if self.verifier_quarantine_threshold is None:
+            return
+        self._verifier_failures.pop(
+            self._verifier_fault_key(entry, verifier), None
+        )
+
+    def _entry_quarantined(self, entry: CacheEntry) -> bool:
+        if not self._quarantined:
+            return False
+        return any(
+            self._verifier_fault_key(entry, verifier) in self._quarantined
+            for verifier in entry.verifiers
+        )
+
+    def quarantined_verifier_keys(self) -> set[tuple[DocumentId, str]]:
+        """The (document, verifier type) pairs currently quarantined."""
+        return set(self._quarantined)
+
+    def lift_quarantines(self) -> int:
+        """Re-enable every quarantined verifier; returns how many.
+
+        Call after the underlying fault is known to be repaired (e.g. an
+        outage window ended); fills resume verification from scratch.
+        """
+        lifted = len(self._quarantined)
+        self._quarantined.clear()
+        self._verifier_failures.clear()
+        return lifted
+
+    def _note_verifier_caught_lost(self, entry: CacheEntry) -> None:
+        """Count a verifier invalidation that covered a lost callback."""
+        if self.bus.consume_lost(entry.document_id):
+            self.stats.dropped_notifier_detected += 1
+
     # -- write path -----------------------------------------------------------
 
     def write(self, reference: "DocumentReference", content: bytes) -> float:
@@ -656,13 +846,30 @@ class DocumentCache:
         return self.ctx.clock.now_ms - started_ms
 
     def flush(self, reference: "DocumentReference") -> bool:
-        """Push a buffered write-back through the full write path."""
+        """Push a buffered write-back through the full write path.
+
+        Runs under the retry policy, if one is configured.  A flush that
+        still fails keeps the dirty buffer (the write is not lost; a
+        later flush can retry) and re-raises.
+        """
         key = self._key(reference)
         buffered = self._dirty.pop(key, None)
         if buffered is None:
             return False
         dirty_reference, content = buffered
-        self.kernel.write(dirty_reference, content)
+        try:
+            if self.retry_policy is None:
+                self.kernel.write(dirty_reference, content)
+            else:
+                self.retry_policy.call(
+                    self.ctx,
+                    lambda: self.kernel.write(dirty_reference, content),
+                    on_retry=self._count_retry,
+                )
+        except Exception:
+            self._dirty[key] = buffered
+            self.stats.flush_failures += 1
+            raise
         self.stats.flushes += 1
         return True
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.cache.consistency import Invalidation, InvalidationReason
-from repro.errors import NotifierError
+from repro.errors import NotifierError, RepositoryOfflineError
 from repro.events.types import Event, EventType
 from repro.ids import CacheId, UserId
 from repro.placeless.properties import ActiveProperty
@@ -65,15 +65,30 @@ class BusStats:
     deliveries: int = 0
     delivery_cost_ms: float = 0.0
     dropped: int = 0
+    #: Deliveries silently discarded by fault injection (the paper's
+    #: lost-callback problem) and deliveries deferred by injected delay.
+    lost: int = 0
+    delayed: int = 0
+    delay_ms_total: float = 0.0
 
 
 class InvalidationBus:
-    """Routes invalidations from notifier properties to registered caches."""
+    """Routes invalidations from notifier properties to registered caches.
+
+    When the context carries a :class:`~repro.faults.plan.FaultPlan`,
+    each delivery is gated through it: the notification may be silently
+    *lost* (never arrives — the cache entry it should have killed lives
+    on until a verifier catches it) or *delayed* (scheduled on the
+    virtual clock and delivered later).  Lost invalidations are remembered
+    per document so the cache manager can count how many of them a
+    verifier subsequently detected.
+    """
 
     def __init__(self, ctx: SimContext) -> None:
         self.ctx = ctx
         self.stats = BusStats()
         self._sinks: dict[CacheId, Callable[[Invalidation], None]] = {}
+        self._lost_documents: dict[object, int] = {}
 
     def register(
         self, cache_id: CacheId, sink: Callable[[Invalidation], None]
@@ -87,16 +102,77 @@ class InvalidationBus:
 
     def deliver(self, cache_id: CacheId, invalidation: Invalidation) -> None:
         """Deliver one invalidation, charging the notifier network path."""
+        plan = self.ctx.faults
+        if plan is not None:
+            action, delay_ms = plan.notifier_disposition(str(cache_id))
+            if action == "drop":
+                self.stats.lost += 1
+                if invalidation.document_id is not None:
+                    self._lost_documents[invalidation.document_id] = (
+                        self._lost_documents.get(invalidation.document_id, 0)
+                        + 1
+                    )
+                return
+            if action == "delay":
+                self.stats.delayed += 1
+                self.stats.delay_ms_total += delay_ms
+                self.ctx.clock.call_after(
+                    delay_ms,
+                    lambda: self._deliver_now(
+                        cache_id, invalidation, charge=False
+                    ),
+                )
+                return
+        self._deliver_now(cache_id, invalidation, charge=True)
+
+    def _deliver_now(
+        self, cache_id: CacheId, invalidation: Invalidation, charge: bool
+    ) -> None:
+        """Hand one invalidation to its sink, optionally charging hops.
+
+        Delayed deliveries run inside a clock callback; their network
+        cost is accounted in the stats but not re-charged to the clock
+        (the delay already covered the transit time).
+        """
         sink = self._sinks.get(cache_id)
         if sink is None:
             self.stats.dropped += 1
             return
         cost = 0.0
-        for hop in self.ctx.topology.notifier_path():
-            cost += self.ctx.charge_hop(hop, 0)
+        try:
+            for hop in self.ctx.topology.notifier_path():
+                if charge:
+                    cost += self.ctx.charge_hop(hop, 0)
+                else:
+                    cost += self.ctx.latency.hop_cost_ms(hop, 0)
+        except RepositoryOfflineError:
+            # The notification died in transit on a downed link: it is
+            # lost, exactly like a fault-plan drop.
+            self.stats.lost += 1
+            if invalidation.document_id is not None:
+                self._lost_documents[invalidation.document_id] = (
+                    self._lost_documents.get(invalidation.document_id, 0) + 1
+                )
+            return
         self.stats.deliveries += 1
         self.stats.delivery_cost_ms += cost
         sink(invalidation)
+
+    def consume_lost(self, document_id: object) -> bool:
+        """Report (and forget) one lost invalidation for *document_id*.
+
+        The cache manager calls this when a verifier invalidates an
+        entry: a pending lost notification for the same document means
+        the verifier just caught what the dropped callback missed.
+        """
+        pending = self._lost_documents.get(document_id, 0)
+        if pending <= 0:
+            return False
+        if pending == 1:
+            del self._lost_documents[document_id]
+        else:
+            self._lost_documents[document_id] = pending - 1
+        return True
 
 
 class NotifierProperty(ActiveProperty):

@@ -50,6 +50,29 @@ class CacheStats:
     sibling_adoptions: int = 0
     #: Stale bytes served because the refetch failed (availability mode).
     stale_served_on_error: int = 0
+    #: Stale-serve candidates rejected because the entry exceeded the
+    #: configured staleness bound (the read failed instead).
+    stale_serve_rejected: int = 0
+    #: Miss-path fetch retries performed, and the virtual backoff charged.
+    retries: int = 0
+    retry_delay_ms: float = 0.0
+    #: Fetches that still failed after exhausting the retry policy.
+    fetch_failures: int = 0
+    #: Reads answered in a degradation mode (stale-on-error or a fetch
+    #: served by bypassing a failed backing level).
+    degraded_serves: int = 0
+    #: Fetches served straight from the kernel because the backing
+    #: (second-level) cache was unreachable.
+    backing_bypasses: int = 0
+    #: Verifiers quarantined after repeated failures, and the misses the
+    #: quarantine forced.
+    quarantined_verifiers: int = 0
+    quarantine_forced_misses: int = 0
+    #: Verifier invalidations that caught a notification the bus had
+    #: lost (the lost-callback problem, detected after the fact).
+    dropped_notifier_detected: int = 0
+    #: Write-back flushes that failed (the dirty buffer is retained).
+    flush_failures: int = 0
     bytes_served_from_cache: int = 0
     bytes_filled: int = 0
     hit_latency_ms: float = 0.0
@@ -89,6 +112,13 @@ class CacheStats:
     def staleness_ratio(self) -> float:
         """Stale hits over hits (0.0 when no hits)."""
         return self.stale_hits / self.hits if self.hits else 0.0
+
+    @property
+    def degraded_serve_ratio(self) -> float:
+        """Degraded-mode serves over lookups (0.0 when no lookups)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.degraded_serves / self.lookups
 
     def invalidations_by_class(self) -> Counter:
         """Invalidations aggregated to the paper's four classes."""

@@ -1,0 +1,348 @@
+"""The fault plan: a seed-deterministic schedule of injected failures.
+
+A :class:`FaultPlan` owns every fault-injection decision for one
+simulation run.  Decisions come from two sources:
+
+* **scheduled windows** (:class:`OutageWindow`) — absolute virtual-time
+  intervals during which a repository, a topology link, or everything is
+  unreachable;
+* **probabilistic draws** — per-site seeded RNG streams (one for
+  fetches, one for the invalidation bus, one for verifiers), so the
+  decision sequence at one seam never perturbs another's.
+
+All randomness is seeded with strings (``f"{seed}:{site}"``), which
+Python hashes with SHA-512 — stable across processes, unaffected by
+``PYTHONHASHSEED``.  All timing comes from the virtual clock.  Every
+injected fault is appended to :attr:`FaultPlan.trace`, so two runs with
+the same seed and workload produce *identical* injection traces — the
+reproducibility contract the chaos tests assert.
+
+The plan is consulted at the seams the system already has:
+
+* :meth:`FaultPlan.check_fetch` — from :meth:`BitProvider.fetch`; raises
+  :class:`~repro.errors.RepositoryOfflineError` inside an outage window
+  and :class:`~repro.errors.ContentUnavailableError` on a probability
+  hit.
+* :meth:`FaultPlan.check_store` — from :meth:`BitProvider.store`; outage
+  windows reject writes too (write-back flush retries exercise this).
+* :meth:`FaultPlan.notifier_disposition` — from
+  :meth:`InvalidationBus.deliver`; a delivery may be silently lost (the
+  paper's lost-callback problem) or delayed.
+* :meth:`FaultPlan.check_verifier` — from the cache manager's hit path;
+  injects verifier exceptions and enforces a timeout budget.
+* :meth:`FaultPlan.link_down` — from :meth:`SimContext.charge_hop`;
+  scheduled topology-link outages.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ContentUnavailableError,
+    RepositoryOfflineError,
+    VerifierError,
+    WorkloadError,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from typing import Callable, Sequence
+
+    from repro.sim.clock import VirtualClock
+
+__all__ = [
+    "OutageWindow",
+    "FaultRecord",
+    "FaultStats",
+    "FaultPlan",
+    "set_default_fault_scenario",
+    "clear_default_fault_scenario",
+    "default_fault_plan",
+]
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One scheduled unavailability interval ``[start_ms, end_ms)``.
+
+    ``target`` narrows the window to one repository name (for fetch/store
+    outages) or one hop name (for link outages); ``None`` matches every
+    target at that seam.
+    """
+
+    start_ms: float
+    end_ms: float
+    target: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.end_ms < self.start_ms:
+            raise WorkloadError(
+                f"outage window ends before it starts: {self}"
+            )
+
+    def covers(self, now_ms: float, target: str) -> bool:
+        """True when *target* is inside this window at *now_ms*."""
+        if not self.start_ms <= now_ms < self.end_ms:
+            return False
+        return self.target is None or self.target == target
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, as recorded in the plan's trace."""
+
+    at_ms: float
+    site: str
+    action: str
+    target: str
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults, by seam."""
+
+    fetch_unavailable: int = 0
+    fetch_offline: int = 0
+    store_offline: int = 0
+    notifications_lost: int = 0
+    notifications_delayed: int = 0
+    verifier_failures: int = 0
+    verifier_timeouts: int = 0
+    link_outages: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total faults injected across all seams."""
+        return (
+            self.fetch_unavailable + self.fetch_offline + self.store_offline
+            + self.notifications_lost + self.notifications_delayed
+            + self.verifier_failures + self.verifier_timeouts
+            + self.link_outages
+        )
+
+
+def _validate_probability(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise WorkloadError(f"{name} must be in [0, 1]: {value}")
+    return value
+
+
+class FaultPlan:
+    """Deterministic fault-injection schedule for one simulation run.
+
+    Parameters
+    ----------
+    clock:
+        The run's virtual clock; every scheduled decision and every trace
+        timestamp reads it (wall time is never consulted).
+    seed:
+        Seeds the per-site RNG streams.  Same seed + same workload →
+        byte-identical injection trace.
+    fetch_failure_probability:
+        Per-fetch chance that the provider raises
+        :class:`~repro.errors.ContentUnavailableError`.
+    outages:
+        Scheduled repository outage windows; fetches and in-band stores
+        inside a window raise :class:`~repro.errors.RepositoryOfflineError`.
+    notifier_loss_probability:
+        Per-delivery chance the invalidation bus silently drops the
+        notification (the lost-callback problem).
+    notifier_delay_probability, notifier_delay_ms:
+        Per-delivery chance the notification is deferred by
+        ``notifier_delay_ms`` virtual milliseconds instead of arriving
+        inline.
+    verifier_failure_probability:
+        Per-execution chance a verifier raises (the manager treats this
+        as a conservative invalidation, and may quarantine the verifier).
+    verifier_timeout_budget_ms:
+        If set, any verifier whose declared ``cost_ms`` exceeds the
+        budget is failed as a timeout before it runs.
+    link_outages:
+        Scheduled topology-link outage windows, keyed by hop name;
+        crossing a downed hop raises
+        :class:`~repro.errors.RepositoryOfflineError`.
+    """
+
+    def __init__(
+        self,
+        clock: "VirtualClock",
+        seed: int = 0,
+        fetch_failure_probability: float = 0.0,
+        outages: "Sequence[OutageWindow]" = (),
+        notifier_loss_probability: float = 0.0,
+        notifier_delay_probability: float = 0.0,
+        notifier_delay_ms: float = 0.0,
+        verifier_failure_probability: float = 0.0,
+        verifier_timeout_budget_ms: float | None = None,
+        link_outages: "Sequence[OutageWindow]" = (),
+    ) -> None:
+        self.clock = clock
+        self.seed = seed
+        self.fetch_failure_probability = _validate_probability(
+            "fetch_failure_probability", fetch_failure_probability
+        )
+        self.outages = tuple(outages)
+        self.notifier_loss_probability = _validate_probability(
+            "notifier_loss_probability", notifier_loss_probability
+        )
+        self.notifier_delay_probability = _validate_probability(
+            "notifier_delay_probability", notifier_delay_probability
+        )
+        if notifier_delay_ms < 0:
+            raise WorkloadError(
+                f"notifier_delay_ms must be non-negative: {notifier_delay_ms}"
+            )
+        self.notifier_delay_ms = notifier_delay_ms
+        self.verifier_failure_probability = _validate_probability(
+            "verifier_failure_probability", verifier_failure_probability
+        )
+        if (
+            verifier_timeout_budget_ms is not None
+            and verifier_timeout_budget_ms < 0
+        ):
+            raise WorkloadError(
+                "verifier_timeout_budget_ms must be non-negative: "
+                f"{verifier_timeout_budget_ms}"
+            )
+        self.verifier_timeout_budget_ms = verifier_timeout_budget_ms
+        self.link_outages = tuple(link_outages)
+        # One RNG stream per seam; string seeding is hash-salt-proof.
+        self._rng_fetch = random.Random(f"{seed}:fetch")
+        self._rng_bus = random.Random(f"{seed}:bus")
+        self._rng_verifier = random.Random(f"{seed}:verifier")
+        self.stats = FaultStats()
+        self.trace: list[FaultRecord] = []
+
+    # -- trace ---------------------------------------------------------------
+
+    def _record(self, site: str, action: str, target: str) -> None:
+        self.trace.append(
+            FaultRecord(
+                at_ms=self.clock.now_ms, site=site, action=action,
+                target=target,
+            )
+        )
+
+    def injection_trace(self) -> tuple[FaultRecord, ...]:
+        """The injections so far, as an immutable comparable sequence."""
+        return tuple(self.trace)
+
+    # -- provider seam -------------------------------------------------------
+
+    def check_fetch(self, repository: str) -> None:
+        """Gate one provider fetch; raises to inject a failure."""
+        now = self.clock.now_ms
+        for window in self.outages:
+            if window.covers(now, repository):
+                self.stats.fetch_offline += 1
+                self._record("provider", "offline-window", repository)
+                raise RepositoryOfflineError(
+                    f"repository {repository!r} is inside a scheduled "
+                    f"outage window at t={now:.1f}ms"
+                )
+        if (
+            self.fetch_failure_probability
+            and self._rng_fetch.random() < self.fetch_failure_probability
+        ):
+            self.stats.fetch_unavailable += 1
+            self._record("provider", "unavailable", repository)
+            raise ContentUnavailableError(
+                f"injected fetch failure at {repository!r} (t={now:.1f}ms)"
+            )
+
+    def check_store(self, repository: str) -> None:
+        """Gate one in-band store; outage windows reject writes too."""
+        now = self.clock.now_ms
+        for window in self.outages:
+            if window.covers(now, repository):
+                self.stats.store_offline += 1
+                self._record("provider", "store-offline-window", repository)
+                raise RepositoryOfflineError(
+                    f"repository {repository!r} rejected a store inside a "
+                    f"scheduled outage window at t={now:.1f}ms"
+                )
+
+    # -- invalidation-bus seam -----------------------------------------------
+
+    def notifier_disposition(self, target: str) -> tuple[str, float]:
+        """Decide one bus delivery: ``("deliver"|"drop"|"delay", delay_ms)``."""
+        if (
+            self.notifier_loss_probability
+            and self._rng_bus.random() < self.notifier_loss_probability
+        ):
+            self.stats.notifications_lost += 1
+            self._record("bus", "drop", target)
+            return "drop", 0.0
+        if (
+            self.notifier_delay_probability
+            and self._rng_bus.random() < self.notifier_delay_probability
+        ):
+            self.stats.notifications_delayed += 1
+            self._record("bus", "delay", target)
+            return "delay", self.notifier_delay_ms
+        return "deliver", 0.0
+
+    # -- verifier seam -------------------------------------------------------
+
+    def check_verifier(self, cost_ms: float, label: str = "verifier") -> None:
+        """Gate one verifier execution; raises to inject a failure."""
+        if (
+            self.verifier_timeout_budget_ms is not None
+            and cost_ms > self.verifier_timeout_budget_ms
+        ):
+            self.stats.verifier_timeouts += 1
+            self._record("verifier", "timeout", label)
+            raise VerifierError(
+                f"{label} exceeded the timeout budget: cost {cost_ms}ms > "
+                f"budget {self.verifier_timeout_budget_ms}ms"
+            )
+        if (
+            self.verifier_failure_probability
+            and self._rng_verifier.random() < self.verifier_failure_probability
+        ):
+            self.stats.verifier_failures += 1
+            self._record("verifier", "raise", label)
+            raise VerifierError(
+                f"injected {label} failure at t={self.clock.now_ms:.1f}ms"
+            )
+
+    # -- topology seam -------------------------------------------------------
+
+    def link_down(self, hop: str) -> bool:
+        """True (and recorded) when *hop* is inside a link-outage window."""
+        now = self.clock.now_ms
+        for window in self.link_outages:
+            if window.covers(now, hop):
+                self.stats.link_outages += 1
+                self._record("link", "down", hop)
+                return True
+        return False
+
+
+#: Process-wide default scenario, consulted by every freshly constructed
+#: :class:`~repro.sim.context.SimContext`; lets the CLI's ``--faults``
+#: flag infiltrate experiments that build their own contexts.
+_default_scenario: "Callable[[VirtualClock], FaultPlan] | None" = None
+
+
+def set_default_fault_scenario(
+    factory: "Callable[[VirtualClock], FaultPlan]",
+) -> None:
+    """Install a factory applied to every new :class:`SimContext`."""
+    global _default_scenario
+    _default_scenario = factory
+
+
+def clear_default_fault_scenario() -> None:
+    """Remove the process-wide default scenario (the normal state)."""
+    global _default_scenario
+    _default_scenario = None
+
+
+def default_fault_plan(clock: "VirtualClock") -> FaultPlan | None:
+    """Build a plan from the default scenario, or ``None`` if unset."""
+    if _default_scenario is None:
+        return None
+    return _default_scenario(clock)

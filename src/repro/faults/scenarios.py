@@ -1,0 +1,96 @@
+"""Canned fault scenarios for benchmarks, tests and the CLI.
+
+Each factory takes the run's virtual clock (plus scenario knobs) and
+returns a ready :class:`~repro.faults.plan.FaultPlan`.  The CLI's
+``--faults`` flag installs :func:`standard_chaos_scenario` as the
+process-wide default, so every experiment context picks it up; that
+scenario injects only *absorbable* faults (notifier loss/delay and
+verifier flakiness — failures the cache machinery converts into
+conservative invalidations) so experiments not written for fault
+tolerance still complete.  The raising fault classes (outage windows,
+fetch failures) are exercised by the dedicated A12 bench, whose cache is
+configured with retries and degradation modes.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.faults.plan import FaultPlan, OutageWindow
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.clock import VirtualClock
+
+__all__ = [
+    "outage_scenario",
+    "lossy_bus_scenario",
+    "flaky_fetch_scenario",
+    "standard_chaos_scenario",
+]
+
+
+def outage_scenario(
+    clock: "VirtualClock",
+    start_ms: float,
+    duration_ms: float,
+    repository: str | None = None,
+    seed: int = 0,
+) -> FaultPlan:
+    """One repository outage window; everything else healthy."""
+    return FaultPlan(
+        clock,
+        seed=seed,
+        outages=(
+            OutageWindow(start_ms, start_ms + duration_ms, repository),
+        ),
+    )
+
+
+def lossy_bus_scenario(
+    clock: "VirtualClock",
+    loss_probability: float = 0.1,
+    delay_probability: float = 0.1,
+    delay_ms: float = 250.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """The lost-callback problem: notifications dropped or delayed."""
+    return FaultPlan(
+        clock,
+        seed=seed,
+        notifier_loss_probability=loss_probability,
+        notifier_delay_probability=delay_probability,
+        notifier_delay_ms=delay_ms,
+    )
+
+
+def flaky_fetch_scenario(
+    clock: "VirtualClock",
+    failure_probability: float = 0.2,
+    seed: int = 0,
+) -> FaultPlan:
+    """Intermittent ContentUnavailableError on provider fetches."""
+    return FaultPlan(
+        clock,
+        seed=seed,
+        fetch_failure_probability=failure_probability,
+    )
+
+
+def standard_chaos_scenario(
+    clock: "VirtualClock",
+    seed: int = 0,
+) -> FaultPlan:
+    """The ``--faults`` default: mild, absorbable background chaos.
+
+    Notifier loss + delay plus occasional verifier failures.  No raising
+    faults, so any experiment — fault-aware or not — runs to completion,
+    just with consistency machinery under stress.
+    """
+    return FaultPlan(
+        clock,
+        seed=seed,
+        notifier_loss_probability=0.05,
+        notifier_delay_probability=0.10,
+        notifier_delay_ms=100.0,
+        verifier_failure_probability=0.02,
+    )

@@ -68,7 +68,15 @@ class BitProvider(abc.ABC):
     # -- content retrieval -------------------------------------------------
 
     def fetch(self) -> ProviderFetch:
-        """Retrieve the current content, charging repository latency."""
+        """Retrieve the current content, charging repository latency.
+
+        When the context carries a :class:`~repro.faults.plan.FaultPlan`
+        the fetch is gated through it first: scheduled outage windows
+        raise :class:`~repro.errors.RepositoryOfflineError`, probability
+        draws raise :class:`~repro.errors.ContentUnavailableError`.
+        """
+        if self.ctx.faults is not None:
+            self.ctx.faults.check_fetch(self.repository_name)
         content = self._retrieve()
         cost = self.ctx.charge_repository(self.repository_name, len(content))
         self.fetch_count += 1
@@ -99,7 +107,13 @@ class BitProvider(abc.ABC):
         In-band stores are snoopable: every registered update listener is
         invoked, which is how notifier properties learn about updates made
         through the system.
+
+        An offline repository rejects writes too: fault-plan outage
+        windows raise before anything is stored, which is what write-back
+        flush retries exercise.
         """
+        if self.ctx.faults is not None:
+            self.ctx.faults.check_store(self.repository_name)
         cost = self.ctx.charge_repository(self.repository_name, len(content))
         self._store(bytes(content))
         self.store_count += 1

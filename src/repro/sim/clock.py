@@ -87,7 +87,10 @@ class VirtualClock:
             raise ClockError(f"cannot advance clock backwards: {delta_ms}")
         target = self._now_ms + delta_ms
         self._run_until(target)
-        self._now_ms = target
+        # A callback fired during the window may itself have advanced the
+        # clock past *target* (e.g. a delayed delivery charging hops);
+        # time never moves backwards.
+        self._now_ms = max(self._now_ms, target)
 
     def advance_to(self, instant_ms: float) -> None:
         """Move virtual time forward to the absolute instant *instant_ms*."""

@@ -4,17 +4,28 @@ Bundles the virtual clock, the latency model, the topology and the id
 generator so constructors take one argument instead of four, and so a
 test or benchmark can build an entire Placeless deployment around a
 single deterministic context.
+
+The context also carries the run's optional
+:class:`~repro.faults.plan.FaultPlan`.  Constructors that do not pass
+one pick up the process-wide default scenario (installed by the CLI's
+``--faults`` flag), so fault injection can infiltrate experiments that
+build their own contexts without any plumbing changes.
 """
 
 from __future__ import annotations
 
 import random
+import typing
 from dataclasses import dataclass, field
 
+from repro.errors import RepositoryOfflineError
 from repro.ids import IdGenerator
 from repro.sim.clock import VirtualClock
 from repro.sim.latency import LatencyModel
 from repro.sim.topology import Topology
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["SimContext"]
 
@@ -28,6 +39,15 @@ class SimContext:
     topology: Topology = field(default_factory=Topology)
     ids: IdGenerator = field(default_factory=IdGenerator)
     rng: random.Random = field(default_factory=lambda: random.Random(0))
+    #: Fault-injection schedule for this run; ``None`` means a healthy
+    #: world (unless a process-wide default scenario is installed).
+    faults: "FaultPlan | None" = None
+
+    def __post_init__(self) -> None:
+        if self.faults is None:
+            from repro.faults.plan import default_fault_plan
+
+            self.faults = default_fault_plan(self.clock)
 
     @property
     def now_ms(self) -> float:
@@ -35,7 +55,15 @@ class SimContext:
         return self.clock.now_ms
 
     def charge_hop(self, hop: str, size_bytes: int = 0) -> float:
-        """Charge one hop crossing to the clock; returns the cost."""
+        """Charge one hop crossing to the clock; returns the cost.
+
+        Raises :class:`~repro.errors.RepositoryOfflineError` when the
+        fault plan has the link inside a scheduled outage window.
+        """
+        if self.faults is not None and self.faults.link_down(hop):
+            raise RepositoryOfflineError(
+                f"network link {hop!r} is down at t={self.clock.now_ms:.1f}ms"
+            )
         cost = self.latency.hop_cost_ms(hop, size_bytes)
         self.clock.charge(cost)
         return cost

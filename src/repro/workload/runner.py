@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.cache.manager import DocumentCache
-from repro.errors import WorkloadError
+from repro.errors import ProviderError, WorkloadError
 from repro.placeless.kernel import PlacelessKernel
 from repro.placeless.reference import DocumentReference
 from repro.properties.translate import TranslationProperty
@@ -35,7 +35,15 @@ class RunnerReport:
     reads: int = 0
     read_latency_ms: float = 0.0
     hits: int = 0
+    #: Reads that failed with a provider error (outage/unavailability)
+    #: even after the cache's retries and degradation modes.
+    read_failures: int = 0
+    #: Reads answered in a degradation mode (stale-on-error or a fetch
+    #: that bypassed a failed backing level).
+    degraded_reads: int = 0
     writes: int = 0
+    #: In-band writes rejected by an offline repository.
+    write_failures: int = 0
     out_of_band_updates: int = 0
     property_attaches: int = 0
     property_detaches: int = 0
@@ -53,6 +61,17 @@ class RunnerReport:
     def hit_ratio(self) -> float:
         """Hits over reads (0.0 with no reads)."""
         return self.hits / self.reads if self.reads else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Successfully answered reads over reads (1.0 with no reads).
+
+        Degraded serves count as available — that is what the
+        degradation modes buy.
+        """
+        if self.reads == 0:
+            return 1.0
+        return (self.reads - self.read_failures) / self.reads
 
 
 class TraceRunner:
@@ -172,26 +191,39 @@ class TraceRunner:
 
             if event.kind is TraceEventKind.READ:
                 report.reads += 1
-                if cache is None:
-                    outcome = self.kernel.read(reference)
-                    report.read_latency_ms += outcome.elapsed_ms
-                else:
-                    outcome = cache.read(reference)
-                    report.read_latency_ms += outcome.elapsed_ms
-                    if outcome.hit:
-                        report.hits += 1
+                try:
+                    if cache is None:
+                        outcome = self.kernel.read(reference)
+                        report.read_latency_ms += outcome.elapsed_ms
+                    else:
+                        outcome = cache.read(reference)
+                        report.read_latency_ms += outcome.elapsed_ms
+                        if outcome.hit:
+                            report.hits += 1
+                        if outcome.degraded:
+                            report.degraded_reads += 1
+                except ProviderError:
+                    # The repository/link is down and every degradation
+                    # mode was exhausted; the trace carries on — that is
+                    # precisely what availability measures.
+                    report.read_failures += 1
             elif event.kind is TraceEventKind.WRITE:
                 content = generate_text(
                     document.size_bytes,
                     seed=event.detail ^ self.seed_salt,
                 )
-                if self.writes_via_cache and cache is not None:
-                    cache.write(reference, content)
+                try:
+                    if self.writes_via_cache and cache is not None:
+                        cache.write(reference, content)
+                    else:
+                        self.kernel.write(
+                            self._writer_reference(event.document_index),
+                            content,
+                        )
+                except ProviderError:
+                    report.write_failures += 1
                 else:
-                    self.kernel.write(
-                        self._writer_reference(event.document_index), content
-                    )
-                report.writes += 1
+                    report.writes += 1
             elif event.kind is TraceEventKind.OUT_OF_BAND_UPDATE:
                 content = generate_text(
                     document.size_bytes,

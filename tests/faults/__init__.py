@@ -1,0 +1,1 @@
+"""Fault-injection tier: deterministic schedules, retry, degradation."""

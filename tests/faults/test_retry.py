@@ -1,0 +1,166 @@
+"""RetryPolicy: backoff schedule, virtual-clock charging, integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.manager import DocumentCache
+from repro.errors import (
+    ContentUnavailableError,
+    RepositoryOfflineError,
+    WorkloadError,
+)
+from repro.faults.plan import FaultPlan, OutageWindow
+from repro.faults.retry import RetryPolicy
+from repro.sim.context import SimContext
+
+
+class TestSchedule:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(base_delay_ms=10.0, multiplier=2.0,
+                             max_delay_ms=1_000.0)
+        assert policy.delay_before_retry_ms(1) == 10.0
+        assert policy.delay_before_retry_ms(2) == 20.0
+        assert policy.delay_before_retry_ms(3) == 40.0
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(base_delay_ms=10.0, multiplier=10.0,
+                             max_delay_ms=50.0)
+        assert policy.delay_before_retry_ms(1) == 10.0
+        assert policy.delay_before_retry_ms(2) == 50.0
+        assert policy.delay_before_retry_ms(9) == 50.0
+
+    def test_total_backoff_sums_the_schedule(self):
+        policy = RetryPolicy(base_delay_ms=10.0, multiplier=2.0,
+                             max_delay_ms=1_000.0)
+        assert policy.total_backoff_ms(3) == 10.0 + 20.0 + 40.0
+        assert policy.total_backoff_ms(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(WorkloadError):
+            RetryPolicy(base_delay_ms=-1.0)
+        with pytest.raises(WorkloadError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(WorkloadError):
+            RetryPolicy().delay_before_retry_ms(0)
+
+
+class TestCall:
+    def test_success_first_try_charges_nothing(self):
+        ctx = SimContext()
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=10.0)
+        assert policy.call(ctx, lambda: "ok") == "ok"
+        assert ctx.clock.now_ms == 0.0
+
+    def test_backoff_charged_to_virtual_clock_exactly(self):
+        ctx = SimContext()
+        policy = RetryPolicy(max_attempts=4, base_delay_ms=10.0,
+                             multiplier=2.0, max_delay_ms=1_000.0)
+        failures = 2
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise ContentUnavailableError("transient")
+            return "recovered"
+
+        retries = []
+        result = policy.call(
+            ctx, flaky,
+            on_retry=lambda attempt, delay, error: retries.append(
+                (attempt, delay, type(error).__name__)
+            ),
+        )
+        assert result == "recovered"
+        assert ctx.clock.now_ms == policy.total_backoff_ms(failures) == 30.0
+        assert retries == [
+            (1, 10.0, "ContentUnavailableError"),
+            (2, 20.0, "ContentUnavailableError"),
+        ]
+
+    def test_exhaustion_reraises_and_charges_all_backoffs(self):
+        ctx = SimContext()
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=10.0,
+                             multiplier=2.0)
+
+        def always_down():
+            raise RepositoryOfflineError("down")
+
+        with pytest.raises(RepositoryOfflineError):
+            policy.call(ctx, always_down)
+        # max_attempts tries, max_attempts - 1 backoff waits.
+        assert ctx.clock.now_ms == policy.total_backoff_ms(2) == 30.0
+
+    def test_non_retryable_error_propagates_immediately(self):
+        ctx = SimContext()
+        policy = RetryPolicy(max_attempts=5, base_delay_ms=10.0)
+
+        def broken():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(ctx, broken)
+        assert ctx.clock.now_ms == 0.0  # no backoff was charged
+
+
+class TestCacheIntegration:
+    def test_retry_rides_out_an_outage_window(self, kernel, memory_reference):
+        # Window [0, 25): the first two attempts fail at t=0 and t=10;
+        # the third, at t=30, lands after the window and succeeds.
+        kernel.ctx.faults = FaultPlan(
+            kernel.ctx.clock, outages=(OutageWindow(0.0, 25.0),)
+        )
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_ms=10.0,
+                                     multiplier=2.0),
+        )
+        outcome = cache.read(memory_reference)
+        assert outcome.disposition == "miss"
+        assert not outcome.degraded
+        assert cache.stats.retries == 2
+        assert cache.stats.retry_delay_ms == 30.0
+        assert cache.stats.fetch_failures == 0
+        assert len(kernel.ctx.faults.injection_trace()) == 2
+
+    def test_exhausted_retries_fail_the_read(self, kernel, memory_reference):
+        kernel.ctx.faults = FaultPlan(
+            kernel.ctx.clock, outages=(OutageWindow(0.0, 1e9),)
+        )
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_ms=5.0),
+        )
+        with pytest.raises(RepositoryOfflineError):
+            cache.read(memory_reference)
+        assert cache.stats.retries == 1
+        assert cache.stats.fetch_failures == 1
+
+    def test_writeback_flush_failure_keeps_the_dirty_buffer(
+        self, kernel, memory_reference
+    ):
+        from repro.cache.manager import WriteMode
+
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20,
+            write_mode=WriteMode.WRITE_BACK,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_ms=5.0),
+        )
+        cache.write(memory_reference, b"buffered bytes")
+        assert cache.dirty_count == 1
+        kernel.ctx.faults = FaultPlan(
+            kernel.ctx.clock, outages=(OutageWindow(0.0, 1e9),)
+        )
+        with pytest.raises(RepositoryOfflineError):
+            cache.flush(memory_reference)
+        assert cache.dirty_count == 1  # the write is not lost
+        assert cache.stats.flush_failures == 1
+        assert cache.stats.flushes == 0
+        # Repair the world: the retried flush now drains the buffer.
+        kernel.ctx.faults = None
+        assert cache.flush(memory_reference) is True
+        assert cache.dirty_count == 0
+        assert cache.stats.flushes == 1

@@ -14,6 +14,8 @@ import pytest
 
 from repro.cache.manager import DocumentCache
 from repro.cache.stats import CacheStats
+from repro.faults.plan import FaultPlan, OutageWindow
+from repro.faults.retry import RetryPolicy
 from repro.placeless.kernel import PlacelessKernel
 from repro.properties.audit import ReadAuditTrailProperty
 from repro.properties.replication import ReplicationProperty
@@ -145,3 +147,127 @@ class TestChaosInvariants:
         merged = CacheStats.merged([cache.stats])
         assert merged.hits == cache.stats.hits
         assert merged.invalidations == cache.stats.invalidations
+
+
+# -- chaos under an active fault plan ----------------------------------------
+
+#: The faulted trace spans ~36 s of virtual time (300 events × 120 ms);
+#: both outage windows sit inside it.
+_FAULT_OUTAGE = OutageWindow(8_000.0, 12_000.0)
+_FAULT_LINK_OUTAGE = OutageWindow(20_000.0, 24_000.0, target="reference-to-base")
+
+
+def _run_faulted_chaos(seed: int, n_events: int = 300):
+    """One mixed trace under outages + a lossy notifier bus."""
+    kernel = PlacelessKernel()
+    kernel.ctx.faults = FaultPlan(
+        kernel.ctx.clock,
+        seed=seed,
+        outages=(_FAULT_OUTAGE,),
+        link_outages=(_FAULT_LINK_OUTAGE,),
+        fetch_failure_probability=0.03,
+        notifier_loss_probability=0.10,
+        notifier_delay_probability=0.10,
+        notifier_delay_ms=300.0,
+    )
+    owner = kernel.create_user("owner")
+    corpus = build_corpus(
+        kernel, owner,
+        CorpusSpec(n_documents=8, ttl_ms=5_000.0, seed=seed),
+    )
+    population = build_population(
+        kernel, corpus, n_users=3, personalized_fraction=0.3, seed=seed
+    )
+    cache = DocumentCache(
+        kernel,
+        capacity_bytes=2 * sum(d.size_bytes for d in corpus),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_ms=50.0),
+        serve_stale_on_error=True,
+        stale_serve_max_age_ms=60_000.0,
+        verifier_quarantine_threshold=5,
+        name="faulted-chaos",
+    )
+    runner = TraceRunner(
+        kernel, corpus, population.references, caches=cache,
+        writes_via_cache=False,
+    )
+    spec = TraceSpec(
+        n_events=n_events, n_documents=8, n_users=3,
+        p_write=0.06, p_out_of_band=0.06,
+        mean_think_time_ms=120.0,
+        seed=seed,
+    )
+    report = runner.execute(generate_trace(spec))
+    # The plan is returned separately: the recovery test detaches it
+    # from the context, but later tests still inspect its stats.
+    return kernel, corpus, population, cache, report, kernel.ctx.faults
+
+
+@pytest.fixture(scope="module")
+def faulted_chaos_run():
+    return _run_faulted_chaos(seed=77)
+
+
+class TestFaultedChaosInvariants:
+    """The chaos invariants must survive an actively hostile world."""
+
+    def test_trace_completed_despite_faults(self, faulted_chaos_run):
+        _, _, _, _, report, plan = faulted_chaos_run
+        assert report.events == 300
+        assert plan.stats.total > 0  # faults actually fired
+
+    def test_availability_stayed_high(self, faulted_chaos_run):
+        _, _, _, _, report, _ = faulted_chaos_run
+        # Retries + degradation absorb most injected failures.
+        assert report.availability >= 0.9
+
+    def test_capacity_never_exceeded(self, faulted_chaos_run):
+        _, _, _, cache, _, _ = faulted_chaos_run
+        assert cache.used_bytes <= cache.capacity_bytes
+
+    def test_store_refcounts_consistent(self, faulted_chaos_run):
+        _, _, _, cache, _, _ = faulted_chaos_run
+        by_signature: dict = {}
+        for entry in cache.entries():
+            by_signature[entry.signature] = (
+                by_signature.get(entry.signature, 0) + 1
+            )
+        assert len(cache.store) == len(by_signature)
+        for signature, count in by_signature.items():
+            assert cache.store.refcount(signature) == count
+
+    def test_transparency_restored_after_recovery(self, faulted_chaos_run):
+        kernel, corpus, population, cache, _, _ = faulted_chaos_run
+        # Repair the world: past every window, faults off, quarantines
+        # lifted, pending delayed deliveries drained.
+        kernel.ctx.clock.advance(5_000.0)
+        kernel.ctx.faults = None
+        cache.lift_quarantines()
+        for user_index in range(3):
+            for document_index in range(8):
+                reference = population.reference(user_index, document_index)
+                cached = cache.read(reference).content
+                fresh = kernel.read(reference).content
+                assert cached == fresh, (user_index, document_index)
+
+    def test_lost_callbacks_were_injected_and_some_caught(
+        self, faulted_chaos_run
+    ):
+        _, _, _, cache, _, plan = faulted_chaos_run
+        assert plan.stats.notifications_lost > 0
+        assert cache.bus.stats.lost > 0
+        # Detection is workload-dependent; it must never exceed losses.
+        assert (
+            cache.stats.dropped_notifier_detected <= cache.bus.stats.lost
+        )
+
+    def test_same_seed_reproduces_the_run_exactly(self):
+        _, _, _, first_cache, first_report, first_plan = _run_faulted_chaos(
+            seed=123, n_events=150
+        )
+        _, _, _, second_cache, second_report, second_plan = _run_faulted_chaos(
+            seed=123, n_events=150
+        )
+        assert first_plan.injection_trace() == second_plan.injection_trace()
+        assert first_report.availability == second_report.availability
+        assert vars(first_cache.stats) == vars(second_cache.stats)
