@@ -111,18 +111,43 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Placeless Documents active-property caching — "
         "paper reproduction toolkit",
+        epilog=(
+            "experiments: table1 (paper Table 1 access times), "
+            "a1 notifier-vs-verifier, a2 replacement policies, "
+            "a3 cross-user sharing, a4 cacheability votes, "
+            "a5 invalidation classes, a6 QoS pinning, a7 property "
+            "chains, a8 cache placement, a9 collection prefetch, "
+            "a10 external dependencies, a11 write modes, "
+            "a12 availability under injected faults (alias: faults; "
+            "includes the per-stage pipeline breakdown and a "
+            "reproducibility check).  Examples: "
+            "'repro bench a12', 'repro bench a1 --faults', "
+            "'repro bench --faults' (all experiments under chaos)."
+        ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    bench = commands.add_parser("bench", help="run experiments")
+    bench = commands.add_parser(
+        "bench",
+        help="run experiments",
+        description="Run one experiment or the whole suite.",
+        epilog=(
+            "The a12/faults experiment always injects its own fault "
+            "scenarios; --faults additionally wraps ANY experiment in "
+            "the standard chaos scenario to check it degrades "
+            "gracefully rather than crashing."
+        ),
+    )
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a12, faults, or all (default)",
+        help="table1, a1..a12, faults (alias for a12), or all (default)",
     )
     bench.add_argument(
         "--faults", action="store_true",
-        help="inject the standard chaos fault scenario (lossy notifier "
-        "bus, flaky verifiers) into every simulation context",
+        help="inject the standard chaos fault scenario (lossy/delayed "
+        "notifier bus, flaky verifiers) into every simulation context "
+        "built while the experiment runs; caches absorb the faults via "
+        "retries, bounded stale serves and verifier quarantine",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -195,6 +195,16 @@ def main() -> None:
             ),
         )
     )
+    # Per-stage pipeline breakdown for the nastiest scenario: which
+    # stages the reads traversed, how often each outcome occurred, and
+    # what it cost in virtual time (from the instrumentation bus).
+    combined = results[-1]
+    print()
+    print(
+        combined.cache.stage_breakdown().render(
+            title="combined scenario: pipeline stage breakdown"
+        )
+    )
     identical = reproducibility_check()
     print(
         "reproducibility: identical seed -> identical fault trace and "

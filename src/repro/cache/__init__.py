@@ -7,6 +7,13 @@ consistency covering the four invalidation classes, cost-aware
 Greedy-Dual-Size replacement seeded by bit-provider retrieval costs and
 property execution times, and write-through/write-back modes with
 operation-event forwarding.
+
+The cache itself is a staged pipeline (:mod:`repro.cache.pipeline`)
+over a shared :mod:`core <repro.cache.core>`, with cross-cutting
+decisions behind pluggable :mod:`policies <repro.cache.policies>` and
+every counter derived from the structured-event
+:mod:`instrumentation <repro.cache.instrumentation>` bus;
+:mod:`manager <repro.cache.manager>` is the wiring plus public API.
 """
 
 from repro.cache.cacheability import Cacheability
@@ -15,12 +22,26 @@ from repro.cache.consistency import (
     InvalidationClass,
     InvalidationReason,
 )
-from repro.cache.entry import CacheEntry, EntryKey
+from repro.cache.entry import CacheEntry, EntryKey, key_for
+from repro.cache.instrumentation import (
+    InstrumentationBus,
+    StageEvent,
+    StageRecorder,
+    StatsProjection,
+)
 from repro.cache.manager import CacheReadOutcome, DocumentCache, WriteMode
 from repro.cache.notifiers import (
     InvalidationBus,
     NotifierProperty,
     install_minimum_notifiers,
+)
+from repro.cache.pipeline import ReadPipeline, WritePipeline
+from repro.cache.policies import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    DefaultDegradationPolicy,
+    DegradationPolicy,
+    VoteAdmissionPolicy,
 )
 from repro.cache.replacement import (
     FIFOPolicy,
@@ -54,9 +75,21 @@ __all__ = [
     "InvalidationReason",
     "CacheEntry",
     "EntryKey",
+    "key_for",
     "DocumentCache",
     "CacheReadOutcome",
     "WriteMode",
+    "ReadPipeline",
+    "WritePipeline",
+    "InstrumentationBus",
+    "StageEvent",
+    "StageRecorder",
+    "StatsProjection",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "VoteAdmissionPolicy",
+    "DegradationPolicy",
+    "DefaultDegradationPolicy",
     "InvalidationBus",
     "NotifierProperty",
     "install_minimum_notifiers",

@@ -107,3 +107,7 @@ class Invalidation:
         if self.document_id != document_id:
             return False
         return self.user_id is None or self.user_id == user_id
+
+    def matches_key(self, key) -> bool:
+        """True if this invalidation covers the given :class:`EntryKey`."""
+        return self.matches(key.document_id, key.user_id)

@@ -1,0 +1,354 @@
+"""Shared cache state and entry-table mechanics for the staged pipeline.
+
+:class:`CacheCore` is the hub every pipeline stage holds: the entry
+table, the content store, the replacement/admission/degradation
+policies, the topology, the instrumentation bus and the invalidation
+bus.  It owns the *mechanics* that several stages share — fill, drop,
+evict, content replacement, event forwarding — while the per-stage
+*logic* (verifier gating, adoption scanning, fetch/degradation,
+admission) lives in :mod:`repro.cache.pipeline` and the public API in
+:mod:`repro.cache.manager`.
+
+Everything here charges the virtual clock in exactly the order the
+pre-pipeline monolith did; the equivalence tests pin that.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cache.consistency import Invalidation, InvalidationReason
+from repro.cache.entry import CacheEntry, EntryKey
+from repro.cache.instrumentation import InstrumentationBus, StageEvent
+from repro.cache.notifiers import InvalidationBus, install_minimum_notifiers
+from repro.cache.stats import CacheStats
+from repro.content.signature import sign
+from repro.content.store import ContentStore
+from repro.errors import CacheError
+from repro.events.types import EventType
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.manager import DocumentCache, WriteMode
+    from repro.cache.policies import AdmissionPolicy, DegradationPolicy
+    from repro.cache.replacement import ReplacementPolicy
+    from repro.faults.retry import RetryPolicy
+    from repro.ids import CacheId, DocumentId
+    from repro.placeless.kernel import PlacelessKernel
+    from repro.placeless.reference import DocumentReference
+    from repro.sim.context import SimContext
+    from repro.sim.topology import Topology
+
+__all__ = [
+    "CacheCore",
+    "NOTIFIER_INSTALL_COST_MS",
+    "VERIFIER_INSTALL_COST_MS",
+    "ADOPTION_COST_MS",
+]
+
+#: Simulated cost of creating one notifier property at fill time — part
+#: of the small miss overhead Table 1 reports.
+NOTIFIER_INSTALL_COST_MS = 0.15
+#: Simulated cost of receiving/registering one verifier at fill time.
+VERIFIER_INSTALL_COST_MS = 0.05
+#: Simulated cost of the metadata exchange that establishes a
+#: (document, user) → signature mapping from another user's entry.
+ADOPTION_COST_MS = 0.3
+
+
+class CacheCore:
+    """Mutable state + shared mechanics behind one ``DocumentCache``."""
+
+    def __init__(
+        self,
+        kernel: "PlacelessKernel",
+        capacity_bytes: int,
+        cache_id: "CacheId",
+        policy: "ReplacementPolicy",
+        admission: "AdmissionPolicy",
+        degradation: "DegradationPolicy",
+        bus: InvalidationBus,
+        instrumentation: InstrumentationBus,
+        topology: "Topology",
+        write_mode: "WriteMode",
+        install_notifiers: bool,
+        use_verifiers: bool,
+        track_staleness: bool,
+        share_across_users: bool,
+        backing: "DocumentCache | None",
+        retry_policy: "RetryPolicy | None",
+    ) -> None:
+        self.kernel = kernel
+        self.ctx: "SimContext" = kernel.ctx
+        self.capacity_bytes = capacity_bytes
+        self.cache_id = cache_id
+        self.policy = policy
+        self.admission = admission
+        self.degradation = degradation
+        self.bus = bus
+        self.instrumentation = instrumentation
+        self.topology = topology
+        self.write_mode = write_mode
+        self.install_notifiers = install_notifiers
+        self.use_verifiers = use_verifiers
+        self.track_staleness = track_staleness
+        self.share_across_users = share_across_users
+        self.backing = backing
+        self.retry_policy = retry_policy
+        self.stats = CacheStats()
+        self.store = ContentStore()
+        self.entries: dict[EntryKey, CacheEntry] = {}
+        self.dirty: dict[EntryKey, tuple["DocumentReference", bytes]] = {}
+
+    # -- instrumentation -----------------------------------------------------
+
+    def emit(
+        self,
+        stage: str,
+        outcome: str,
+        key: EntryKey | None = None,
+        started_ms: float | None = None,
+        ended_ms: float | None = None,
+        **payload,
+    ) -> None:
+        """Emit one stage event; timestamps default to *now*."""
+        now = self.ctx.clock.now_ms
+        self.instrumentation.emit(
+            StageEvent(
+                stage=stage,
+                outcome=outcome,
+                document_id=key.document_id if key is not None else None,
+                user_id=key.user_id if key is not None else None,
+                started_ms=now if started_ms is None else started_ms,
+                ended_ms=now if ended_ms is None else ended_ms,
+                payload=payload,
+            )
+        )
+
+    # -- fetch (next level down) ---------------------------------------------
+
+    def fetch(self, reference: "DocumentReference"):
+        """Fetch content + path metadata from the next level down.
+
+        With a backing cache this is the second-level cache (which may
+        itself hit or miss); without one it is the full Placeless read
+        path.
+        """
+        if self.backing is not None:
+            return self.backing.read_for_fill(reference)
+        outcome = self.kernel.read(reference)
+        return outcome.content, outcome.meta
+
+    def fetch_with_retry(self, reference: "DocumentReference"):
+        """Fetch from the level below under the retry policy, if any."""
+        if self.retry_policy is None:
+            return self.fetch(reference)
+        return self.retry_policy.call(
+            self.ctx,
+            lambda: self.fetch(reference),
+            on_retry=self.count_retry,
+        )
+
+    def count_retry(
+        self, attempt: int, delay_ms: float, error: BaseException
+    ) -> None:
+        """Retry-policy callback: account one backoff wait."""
+        self.emit("fetch", "retry", delay_ms=delay_ms, attempt=attempt)
+
+    # -- entry-table mechanics -------------------------------------------------
+
+    def fill(
+        self, reference: "DocumentReference", key: EntryKey,
+        content: bytes, meta,
+    ) -> CacheEntry:
+        """Insert (or refresh) the entry for *key* with *content*."""
+        existing = self.entries.get(key)
+        if existing is not None:
+            self.remove_entry(existing)
+
+        signature = self.store.put(content)
+        self.evict_to_capacity(protect=key)
+        now = self.ctx.clock.now_ms
+        entry = CacheEntry(
+            key=key,
+            signature=signature,
+            size=len(content),
+            cacheability=meta.cacheability,
+            verifiers=list(meta.verifiers),
+            replacement_cost_ms=meta.replacement_cost_ms,
+            chain_signature=meta.chain_signature,
+            reference_id=reference.reference_id,
+            created_at_ms=now,
+            last_access_ms=now,
+        )
+        entry.pinned = bool(getattr(meta, "pin", False))
+        entry.policy_state["source_signature"] = meta.source_signature
+        self.entries[key] = entry
+        self.policy.on_insert(entry)
+        # Fill overhead: register the returned verifiers and install the
+        # minimum notifier set — Table 1's miss-vs-no-cache delta.
+        self.ctx.charge(VERIFIER_INSTALL_COST_MS * len(meta.verifiers))
+        if self.install_notifiers:
+            installed = install_minimum_notifiers(
+                reference, self.bus, self.cache_id
+            )
+            self.ctx.charge(NOTIFIER_INSTALL_COST_MS * len(installed))
+        return entry
+
+    def evict_to_capacity(self, protect: EntryKey | None = None) -> None:
+        """Evict victims until physical bytes fit the capacity."""
+        while self.store.physical_bytes > self.capacity_bytes:
+            candidates = {
+                key: entry
+                for key, entry in self.entries.items()
+                if key != protect and not entry.pinned
+            }
+            if not candidates:
+                raise CacheError(
+                    "cannot satisfy capacity: nothing evictable"
+                )
+            victim_key = self.policy.select_victim(candidates)
+            victim = self.entries[victim_key]
+            self.drop(victim, InvalidationReason.EVICTED, origin="internal")
+            self.emit("eviction", "evicted", key=victim_key)
+
+    def drop(
+        self,
+        entry: CacheEntry,
+        reason: InvalidationReason,
+        origin: str = "internal",
+    ) -> None:
+        """Invalidate and remove an entry, releasing its content bytes."""
+        entry.invalidate(
+            Invalidation(
+                reason=reason,
+                document_id=entry.document_id,
+                user_id=entry.user_id,
+                at_ms=self.ctx.clock.now_ms,
+                origin=origin,
+            )
+        )
+        self.emit(
+            "invalidation", reason.value, key=entry.key,
+            reason=reason, origin=origin,
+        )
+        self.remove_entry(entry)
+
+    def invalidate_local(
+        self, key: EntryKey, reason: InvalidationReason
+    ) -> None:
+        """Drop this cache's entry for *key*, if present."""
+        entry = self.entries.get(key)
+        if entry is not None:
+            self.drop(entry, reason, origin="internal")
+
+    def remove_entry(self, entry: CacheEntry) -> None:
+        """Forget an entry and release its content-store reference."""
+        if self.entries.get(entry.key) is entry:
+            del self.entries[entry.key]
+            self.store.release(entry.signature)
+            self.policy.on_remove(entry)
+
+    def replace_content(self, entry: CacheEntry, content: bytes) -> None:
+        """Swap an entry's bytes (verifier REVALIDATED patching)."""
+        self.store.release(entry.signature)
+        entry.signature = self.store.put(content)
+        entry.size = len(content)
+        self.evict_to_capacity(protect=entry.key)
+
+    # -- cross-cutting helpers -------------------------------------------------
+
+    def meta_from_entry(self, entry: CacheEntry):
+        """Reconstruct read-path metadata from a stored entry."""
+        from repro.placeless.document import PathMeta
+
+        return PathMeta(
+            verifiers=list(entry.verifiers),
+            votes=[entry.cacheability],
+            replacement_cost_ms=entry.replacement_cost_ms,
+            chain_signature=entry.chain_signature,
+            properties_executed=0,
+            source_signature=entry.policy_state.get("source_signature"),
+            pin=entry.pinned,
+        )
+
+    def expected_chain_signature(self, reference: "DocumentReference"):
+        """The chain signature this reference's read path would record.
+
+        Computable from property metadata alone — no content fetch — so
+        a cache can predict whether another user's cached bytes apply.
+        """
+        chain = (
+            reference.base.stream_chain(EventType.GET_INPUT_STREAM)
+            + reference.stream_chain(EventType.GET_INPUT_STREAM)
+        )
+        return tuple(
+            signature
+            for signature in (p.transform_signature() for p in chain)
+            if signature is not None
+        )
+
+    def is_stale(
+        self, reference: "DocumentReference", entry: CacheEntry
+    ) -> bool:
+        """Ground-truth staleness: raw source changed since fill.
+
+        Uses :meth:`BitProvider.peek`, which charges nothing — this is
+        simulation-side omniscience, not something a real cache could do.
+        """
+        recorded = entry.policy_state.get("source_signature")
+        if recorded is None:
+            return False
+        return sign(reference.base.provider.peek()) != recorded
+
+    @staticmethod
+    def verifier_fault_key(
+        entry: CacheEntry, verifier
+    ) -> tuple["DocumentId", str]:
+        """Quarantine key: stable across refills (which rebuild verifier
+        objects), so repeated failures accumulate per document and
+        verifier type rather than per object."""
+        return (entry.document_id, type(verifier).__name__)
+
+    def note_verifier_caught_lost(self, entry: CacheEntry) -> None:
+        """Count a verifier invalidation that covered a lost callback."""
+        if self.bus.consume_lost(entry.document_id):
+            self.emit("bus-loss", "detected", key=entry.key)
+
+    # -- event forwarding -------------------------------------------------------
+
+    def forward_read(self, reference: "DocumentReference") -> None:
+        """Forward a cache-served read as READ_FORWARDED events.
+
+        "the cache will forward the operation, but the Placeless system
+        will not execute them fully, instead just use them to trigger
+        active properties that have registered for these events." (§3)
+        """
+        for hop in self.topology.notifier_path():
+            self.ctx.charge_hop(hop, 0)
+        event = reference.make_event(EventType.READ_FORWARDED)
+        reference.base.dispatcher.dispatch(event)
+        reference.dispatcher.dispatch(event)
+        self.emit("forward", "read", key=EntryKey.for_reference(reference))
+
+    def forward_write(
+        self, reference: "DocumentReference", size: int
+    ) -> None:
+        """Forward a buffered write as WRITE_FORWARDED events, if wanted."""
+        event = reference.make_event(
+            EventType.WRITE_FORWARDED, payload={"size": size}
+        )
+        base_wants = reference.base.dispatcher.has_listener(
+            EventType.WRITE_FORWARDED
+        )
+        ref_wants = reference.dispatcher.has_listener(
+            EventType.WRITE_FORWARDED
+        )
+        if not (base_wants or ref_wants):
+            return
+        for hop in self.topology.notifier_path():
+            self.ctx.charge_hop(hop, 0)
+        if base_wants:
+            reference.base.dispatcher.dispatch(event)
+        if ref_wants:
+            reference.dispatcher.dispatch(event)
+        self.emit("forward", "write", key=EntryKey.for_reference(reference))

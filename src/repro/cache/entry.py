@@ -13,6 +13,7 @@ entries whose transformed content is identical.
 
 from __future__ import annotations
 
+import typing
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
@@ -22,7 +23,10 @@ from repro.cache.verifiers import Verifier
 from repro.content.signature import ContentSignature
 from repro.ids import DocumentId, ReferenceId, UserId
 
-__all__ = ["EntryKey", "CacheEntry"]
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.placeless.reference import DocumentReference
+
+__all__ = ["EntryKey", "CacheEntry", "key_for"]
 
 
 class EntryKey(NamedTuple):
@@ -31,8 +35,24 @@ class EntryKey(NamedTuple):
     document_id: DocumentId
     user_id: UserId
 
+    @classmethod
+    def for_reference(cls, reference: "DocumentReference") -> "EntryKey":
+        """The canonical key for a document reference.
+
+        Every site that needs a (document, user) key — the manager, the
+        pipeline stages, notifier/invalidation matching, stats
+        attribution — must construct it through here, so the key shape
+        is defined exactly once.
+        """
+        return cls(reference.base.document_id, reference.owner)
+
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"({self.document_id}, {self.user_id})"
+
+
+def key_for(reference: "DocumentReference") -> EntryKey:
+    """Module-level alias for :meth:`EntryKey.for_reference`."""
+    return EntryKey.for_reference(reference)
 
 
 @dataclass

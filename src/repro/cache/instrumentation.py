@@ -1,0 +1,330 @@
+"""The unified cache instrumentation bus.
+
+The monolithic cache mutated :class:`~repro.cache.stats.CacheStats`
+counters inline at ~40 scattered sites, which made per-mechanism
+accounting impossible to extend: adding one observable meant touching
+the manager.  The pipelined cache instead has every stage emit
+structured :class:`StageEvent` records — stage name, (document, user)
+key, outcome label, virtual-clock start/end — onto an
+:class:`InstrumentationBus`, and everything downstream is a subscriber:
+
+* :class:`StatsProjection` derives today's :class:`CacheStats` counters
+  from the event stream (byte-identical to the pre-pipeline inline
+  mutation — the equivalence tests pin this);
+* :class:`BusStatsProjection` does the same for the invalidation bus's
+  :class:`~repro.cache.notifiers.BusStats`;
+* :class:`StageRecorder` aggregates count/latency per (stage, outcome),
+  giving the trace runner and benches their per-stage breakdown for
+  free.
+
+Events are emitted synchronously (subscribers run inline at the emit
+site) and timing comes from the virtual clock only, so instrumentation
+never perturbs simulated time or fault-injection draws.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.stats import CacheStats
+    from repro.ids import DocumentId, UserId
+
+__all__ = [
+    "StageEvent",
+    "InstrumentationBus",
+    "StageRecorder",
+    "StatsProjection",
+    "BusStatsProjection",
+    "STAGE_ORDER",
+]
+
+#: Canonical display order for breakdown tables: read-pipeline stages,
+#: write-pipeline stages, then auxiliary event sources.
+STAGE_ORDER = (
+    "read",
+    "dirty-flush",
+    "lookup",
+    "verifier-gate",
+    "adoption",
+    "fetch",
+    "degradation",
+    "admission",
+    "write",
+    "flush",
+    "verifier",
+    "quarantine",
+    "eviction",
+    "invalidation",
+    "notifier",
+    "forward",
+    "prefetch",
+    "staleness",
+    "bus",
+    "bus-loss",
+)
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One structured observation emitted by a cache stage."""
+
+    stage: str
+    outcome: str
+    document_id: "DocumentId | None" = None
+    user_id: "UserId | None" = None
+    started_ms: float = 0.0
+    ended_ms: float = 0.0
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Virtual time the observed work took."""
+        return self.ended_ms - self.started_ms
+
+
+class InstrumentationBus:
+    """Synchronous fan-out of stage events to subscribers."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[StageEvent], None]] = []
+
+    def subscribe(self, subscriber: Callable[[StageEvent], None]) -> None:
+        """Register a subscriber; it runs inline on every emit."""
+        self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: Callable[[StageEvent], None]) -> None:
+        """Remove a subscriber (no-op if absent)."""
+        if subscriber in self._subscribers:
+            self._subscribers.remove(subscriber)
+
+    def emit(self, event: StageEvent) -> None:
+        """Deliver one event to every subscriber, in subscription order."""
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+
+@dataclass
+class StageCell:
+    """Aggregate for one (stage, outcome) pair."""
+
+    count: int = 0
+    elapsed_ms: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean virtual latency per event (0.0 when empty)."""
+        return self.elapsed_ms / self.count if self.count else 0.0
+
+
+class StageRecorder:
+    """Aggregates events into a per-stage outcome + timing breakdown."""
+
+    def __init__(self) -> None:
+        self.cells: dict[tuple[str, str], StageCell] = {}
+
+    def __call__(self, event: StageEvent) -> None:
+        cell = self.cells.get((event.stage, event.outcome))
+        if cell is None:
+            cell = self.cells[(event.stage, event.outcome)] = StageCell()
+        cell.count += 1
+        cell.elapsed_ms += event.elapsed_ms
+
+    def merge(self, other: "StageRecorder") -> None:
+        """Fold another recorder's cells into this one (fleet reporting)."""
+        for key, cell in other.cells.items():
+            mine = self.cells.get(key)
+            if mine is None:
+                mine = self.cells[key] = StageCell()
+            mine.count += cell.count
+            mine.elapsed_ms += cell.elapsed_ms
+
+    def rows(self) -> list[tuple[str, str, int, float, float]]:
+        """(stage, outcome, count, total_ms, mean_ms), canonical order."""
+        def order(key: tuple[str, str]) -> tuple[int, str, str]:
+            stage, outcome = key
+            try:
+                rank = STAGE_ORDER.index(stage)
+            except ValueError:
+                rank = len(STAGE_ORDER)
+            return (rank, stage, outcome)
+
+        return [
+            (stage, outcome, cell.count, cell.elapsed_ms, cell.mean_ms)
+            for (stage, outcome), cell in sorted(
+                self.cells.items(), key=lambda item: order(item[0])
+            )
+        ]
+
+    def render(self, title: str | None = None) -> str:
+        """Plain-text breakdown table (for the trace runner and benches)."""
+        lines = []
+        if title:
+            lines.append(title)
+        header = (
+            f"{'stage':<14} {'outcome':<27} {'count':>7} "
+            f"{'total ms':>12} {'mean ms':>10}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for stage, outcome, count, total, mean in self.rows():
+            lines.append(
+                f"{stage:<14} {outcome:<27} {count:>7} "
+                f"{total:>12.2f} {mean:>10.3f}"
+            )
+        if len(lines) == (2 if not title else 3):
+            lines.append("(no events recorded)")
+        return "\n".join(lines)
+
+
+class StatsProjection:
+    """Derives the legacy :class:`CacheStats` counters from stage events.
+
+    One handler per (stage, outcome) family; the mapping below is the
+    single place where event vocabulary meets counter names.  Float
+    accumulators (latencies, verifier cost, retry delay) are added in
+    emission order, which equals the old inline-mutation order — so the
+    derived stats are bit-for-bit what the monolith produced.
+    """
+
+    #: Read dispositions served from the entry table (everything else a
+    #: terminal "read" event reports is a miss).
+    _HIT_DISPOSITIONS = frozenset({"hit", "revalidated"})
+
+    def __init__(self, stats: "CacheStats") -> None:
+        self.stats = stats
+
+    def __call__(self, event: StageEvent) -> None:
+        handler = getattr(self, "_on_" + event.stage.replace("-", "_"), None)
+        if handler is not None:
+            handler(event)
+
+    # -- terminal read accounting -------------------------------------------
+
+    def _on_read(self, event: StageEvent) -> None:
+        stats = self.stats
+        if event.outcome in self._HIT_DISPOSITIONS:
+            stats.hits += 1
+            stats.hit_latency_ms += event.elapsed_ms
+            stats.bytes_served_from_cache += event.payload.get("bytes", 0)
+        else:
+            stats.misses += 1
+            stats.miss_latency_ms += event.elapsed_ms
+
+    # -- read-pipeline stages -------------------------------------------------
+
+    def _on_verifier(self, event: StageEvent) -> None:
+        stats = self.stats
+        if event.outcome == "executed":
+            stats.verifier_executions += 1
+            stats.verifier_cost_ms += event.payload["cost_ms"]
+        elif event.outcome == "invalidated":
+            stats.verifier_invalidations += 1
+        elif event.outcome == "revalidated":
+            stats.verifier_revalidations += 1
+
+    def _on_quarantine(self, event: StageEvent) -> None:
+        if event.outcome == "added":
+            self.stats.quarantined_verifiers += 1
+        elif event.outcome == "forced-miss":
+            self.stats.quarantine_forced_misses += 1
+
+    def _on_bus_loss(self, event: StageEvent) -> None:
+        if event.outcome == "detected":
+            self.stats.dropped_notifier_detected += 1
+
+    def _on_adoption(self, event: StageEvent) -> None:
+        if event.outcome == "adopted":
+            self.stats.sibling_adoptions += 1
+
+    def _on_fetch(self, event: StageEvent) -> None:
+        stats = self.stats
+        if event.outcome == "failed":
+            stats.fetch_failures += 1
+        elif event.outcome == "retry":
+            stats.retries += 1
+            stats.retry_delay_ms += event.payload["delay_ms"]
+
+    def _on_degradation(self, event: StageEvent) -> None:
+        stats = self.stats
+        if event.outcome == "bypassed":
+            stats.backing_bypasses += 1
+            stats.degraded_serves += 1
+        elif event.outcome == "stale-served":
+            stats.stale_served_on_error += 1
+            stats.degraded_serves += 1
+        elif event.outcome == "stale-rejected":
+            stats.stale_serve_rejected += 1
+
+    def _on_admission(self, event: StageEvent) -> None:
+        if event.outcome == "filled":
+            self.stats.bytes_filled += event.payload["bytes"]
+        elif event.outcome == "uncacheable":
+            self.stats.uncacheable_reads += 1
+
+    def _on_eviction(self, event: StageEvent) -> None:
+        if event.outcome == "evicted":
+            self.stats.evictions += 1
+
+    def _on_invalidation(self, event: StageEvent) -> None:
+        self.stats.record_invalidation(event.payload["reason"])
+
+    def _on_notifier(self, event: StageEvent) -> None:
+        if event.outcome == "delivered":
+            self.stats.notifier_deliveries += 1
+
+    def _on_forward(self, event: StageEvent) -> None:
+        if event.outcome == "read":
+            self.stats.forwarded_reads += 1
+        elif event.outcome == "write":
+            self.stats.forwarded_writes += 1
+
+    def _on_staleness(self, event: StageEvent) -> None:
+        if event.outcome == "stale-hit":
+            self.stats.stale_hits += 1
+
+    def _on_prefetch(self, event: StageEvent) -> None:
+        if event.outcome == "requested":
+            self.stats.prefetch_requests += 1
+        elif event.outcome == "filled":
+            self.stats.prefetch_fills += 1
+        elif event.outcome == "hit":
+            self.stats.prefetched_hits += 1
+
+    # -- write-pipeline stages -------------------------------------------------
+
+    def _on_write(self, event: StageEvent) -> None:
+        if event.outcome == "write-through":
+            self.stats.writes_through += 1
+        elif event.outcome == "write-back":
+            self.stats.writes_backed += 1
+
+    def _on_flush(self, event: StageEvent) -> None:
+        if event.outcome == "flushed":
+            self.stats.flushes += 1
+        elif event.outcome == "failed":
+            self.stats.flush_failures += 1
+
+
+class BusStatsProjection:
+    """Derives the invalidation bus's ``BusStats`` from ``bus`` events."""
+
+    def __init__(self, stats) -> None:
+        self.stats = stats
+
+    def __call__(self, event: StageEvent) -> None:
+        if event.stage != "bus":
+            return
+        stats = self.stats
+        if event.outcome == "delivered":
+            stats.deliveries += 1
+            stats.delivery_cost_ms += event.payload.get("cost_ms", 0.0)
+        elif event.outcome == "dropped":
+            stats.dropped += 1
+        elif event.outcome == "lost":
+            stats.lost += 1
+        elif event.outcome == "delayed":
+            stats.delayed += 1
+            stats.delay_ms_total += event.payload.get("delay_ms", 0.0)

@@ -1,43 +1,51 @@
-"""The document content cache manager.
+"""The document content cache manager: public API over the staged pipeline.
 
-Ties together everything §3 and §4 describe:
-
-* entries tagged ``(document id, user id)`` indirecting through MD5
-  content signatures into a shared, reference-counted content store;
-* on every hit, the entry's verifiers execute (charging their cost —
-  the consistency/latency trade-off), possibly invalidating or patching
-  the entry in place;
-* on every miss, the full Placeless read path runs; the returned
-  cacheability indicator decides whether/how to fill, and the first fill
-  for a (document, user) installs the paper's *minimum notifier set*
-  (whose creation cost is the Table-1 miss overhead);
-* entries voted ``CACHEABLE_WITH_EVENTS`` forward each hit to the
-  Placeless system as a READ_FORWARDED event so properties like the
-  read-audit-trail still observe operations;
-* replacement is delegated to a pluggable policy (Greedy-Dual-Size with
-  path-supplied costs by default);
-* writes run write-through (immediate full write path) or write-back
-  (buffer locally, forward WRITE_FORWARDED events to interested
-  properties, flush on demand/eviction/read).
+:class:`DocumentCache` is the §3/§4 cache — per-(document, user) entries
+indirecting through content signatures, verifier-gated hits, minimum
+notifier sets on fills, cacheability-vote admission, pluggable
+replacement, write-through/write-back — but the mechanics live
+elsewhere: :class:`~repro.cache.core.CacheCore` holds the state,
+:mod:`repro.cache.pipeline` the staged read and write paths,
+:mod:`repro.cache.policies` the pluggable admission and degradation
+decisions, and :mod:`repro.cache.instrumentation` the structured-event
+bus every counter is now derived from.  This module is only the wiring
+plus the public surface.
 """
 
 from __future__ import annotations
 
-import enum
 import typing
-from dataclasses import dataclass
 
 from repro.cache.consistency import Invalidation, InvalidationReason
+from repro.cache.core import (  # noqa: F401  (constants re-exported for compat)
+    ADOPTION_COST_MS,
+    NOTIFIER_INSTALL_COST_MS,
+    VERIFIER_INSTALL_COST_MS,
+    CacheCore,
+)
 from repro.cache.entry import CacheEntry, EntryKey
-from repro.cache.notifiers import InvalidationBus, install_minimum_notifiers
-from repro.cache.stats import CacheStats
-from repro.cache.verifiers import Verdict
-from repro.content.signature import sign
-from repro.content.store import ContentStore
-from repro.errors import CacheCapacityError, CacheError
-from repro.cache.replacement import GreedyDualSizePolicy, ReplacementPolicy
-from repro.events.types import EventType
-from repro.ids import CacheId, DocumentId, UserId
+from repro.cache.instrumentation import (
+    InstrumentationBus,
+    StageRecorder,
+    StatsProjection,
+)
+from repro.cache.notifiers import InvalidationBus
+from repro.cache.pipeline import (
+    CacheReadOutcome,
+    ReadPipeline,
+    WriteMode,
+    WritePipeline,
+)
+from repro.cache.policies import (
+    AdmissionPolicy,
+    DefaultDegradationPolicy,
+    DegradationPolicy,
+    GreedyDualSizePolicy,
+    ReplacementPolicy,
+    VoteAdmissionPolicy,
+)
+from repro.errors import CacheCapacityError
+from repro.ids import DocumentId, UserId
 from repro.sim.topology import CachePlacement, Topology
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -47,57 +55,15 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["WriteMode", "CacheReadOutcome", "DocumentCache"]
 
-#: Simulated cost of creating one notifier property at fill time — part
-#: of the small miss overhead Table 1 reports.
-NOTIFIER_INSTALL_COST_MS = 0.15
-#: Simulated cost of receiving/registering one verifier at fill time.
-VERIFIER_INSTALL_COST_MS = 0.05
-#: Simulated cost of the metadata exchange that establishes a
-#: (document, user) → signature mapping from another user's entry.
-ADOPTION_COST_MS = 0.3
-
-
-class WriteMode(enum.Enum):
-    """Write-through vs. write-back (§3, Cache Management)."""
-
-    WRITE_THROUGH = "write-through"
-    WRITE_BACK = "write-back"
-
-
-@dataclass
-class CacheReadOutcome:
-    """Result of one read through the cache."""
-
-    content: bytes
-    hit: bool
-    elapsed_ms: float
-    #: "hit", "revalidated", "miss", "miss-verifier", "miss-invalidated",
-    #: "uncacheable", "miss-oversize", "miss-adopted", or a degraded
-    #: mode: "stale-on-error" (bounded stale bytes served because the
-    #: refetch failed) / "miss-degraded" (fetched past a failed backing
-    #: level).
-    disposition: str
-
-    @property
-    def degraded(self) -> bool:
-        """True when this read was answered in a degradation mode."""
-        return self.disposition in ("stale-on-error", "miss-degraded")
-
-    @property
-    def size(self) -> int:
-        """Bytes delivered to the application."""
-        return len(self.content)
-
 
 class DocumentCache:
     """An application-level (or server co-located) content cache.
 
     Parameters
     ----------
-    kernel:
-        The Placeless kernel behind this cache.
-    capacity_bytes:
-        Physical capacity of the content store (deduplicated bytes).
+    kernel, capacity_bytes:
+        The Placeless kernel behind this cache, and the physical capacity
+        of its deduplicated content store.
     policy:
         Replacement policy; defaults to cost-aware Greedy-Dual-Size.
     bus:
@@ -105,64 +71,52 @@ class DocumentCache:
         (and registered with) if not supplied.
     write_mode:
         Write-through (default) or write-back.
-    install_notifiers:
-        Whether fills install the §3 minimum notifier set.  The A1
-        ablation disables this to run in verifier-only mode.
-    use_verifiers:
-        Whether hits execute verifiers.  The A1 ablation disables this to
-        run in notifier-only mode.
+    install_notifiers, use_verifiers:
+        Whether fills install the §3 minimum notifier set, and whether
+        hits execute verifiers.  The A1 ablation disables one of them to
+        run verifier-only / notifier-only.
     track_staleness:
         When True, every hit is compared against ground truth (the
         repository's current raw bytes) to count stale hits — possible
         only in simulation, free of charge to the virtual clock.
     placement:
-        Where *this* cache sits (overrides the topology default).  §4
-        experimented "with caches co-located with the Placeless server
-        and on the machine where applications are run"; an
+        Where *this* cache sits (overrides the topology default): an
         application-level cache serves hits over the local hop, a
-        server-colocated one over the app→reference-server hop.
+        server-colocated one over the app→reference-server hop (§4).
     backing:
-        Optional second-level cache.  Misses are filled from the backing
-        cache instead of going straight to the kernel, modelling the §4
-        deployment with *both* an application-level and a server
-        co-located cache.
-    serve_stale_on_error:
-        When a verifier invalidates an entry but the refetch fails (the
-        repository is offline), serve the stale bytes instead of raising
-        — availability over freshness, the choice web proxies make.  Off
-        by default.
-    stale_serve_max_age_ms:
-        Staleness bound for ``serve_stale_on_error``: stale bytes older
-        than this (measured from fill time on the virtual clock) are
-        *not* served and the read fails instead.  ``None`` (default)
-        serves stale bytes of any age.
+        Optional second-level cache misses are filled through, modelling
+        the §4 deployment with both cache levels.
+    serve_stale_on_error, stale_serve_max_age_ms,
+    verifier_quarantine_threshold, bypass_backing_on_error:
+        Degradation bounds, forwarded to the default
+        :class:`~repro.cache.policies.DefaultDegradationPolicy` (see its
+        docs) — bounded availability-over-freshness stale serving,
+        quarantine of repeatedly-raising verifiers until
+        :meth:`lift_quarantines`, and fetching straight from the kernel
+        past a failed backing level.
     retry_policy:
         Optional :class:`~repro.faults.retry.RetryPolicy` applied to
-        miss-path fetches and write-back flushes.  Backoff waits are
-        charged to the virtual clock and counted in
-        :attr:`CacheStats.retries` / :attr:`CacheStats.retry_delay_ms`.
-    verifier_quarantine_threshold:
-        When set, a verifier (keyed by document and verifier type) that
-        *raises* this many consecutive times is quarantined: entries
-        carrying it are dropped on access and every read forces a miss,
-        trading verification cost and trust for availability, until
-        :meth:`lift_quarantines` re-enables it.  ``None`` (default)
-        disables quarantining.
-    bypass_backing_on_error:
-        When a fetch through the ``backing`` (second-level) cache fails,
-        go straight to the kernel instead — degraded operation past a
-        failed intermediate level.  Off by default.
+        miss-path fetches and write-back flushes; backoff waits are
+        charged to the virtual clock and counted in the stats.
     share_across_users:
-        §3's signature-adoption optimization: "for subsequent accesses,
-        content entries could be shared ... On a cache miss for an
-        already cached version of the same content, only the document and
-        user identifier mapping to the content signature needs to be
-        established."  When a miss finds another user's *valid* entry for
-        the same document with an identical transformation-chain
-        signature, the cache adopts that entry's content signature after
-        re-running its verifiers, instead of executing the full read
-        path.  Off by default (the paper describes it as a possible
-        extension beyond the implemented prototype).
+        §3's signature-adoption optimization: a miss that finds another
+        user's *valid* entry for the same document with an identical
+        transformation-chain signature adopts that entry's content
+        signature (after re-running its verifiers) instead of executing
+        the full read path.  Off by default — the paper describes it as
+        an extension beyond the implemented prototype.
+    admission_policy:
+        Override for the fill-admission decision (defaults to
+        :class:`~repro.cache.policies.VoteAdmissionPolicy`, the §3
+        cacheability-vote behaviour).
+    degradation_policy:
+        Override for the degradation bounds/quarantine bookkeeping; when
+        supplied, the four individual degradation arguments are ignored.
+    instrumentation:
+        The :class:`~repro.cache.instrumentation.InstrumentationBus`
+        stage events are emitted on; a private one is created if not
+        supplied.  Pass a shared bus to aggregate several caches onto
+        one subscriber.
     """
 
     def __init__(
@@ -184,95 +138,141 @@ class DocumentCache:
         verifier_quarantine_threshold: int | None = None,
         bypass_backing_on_error: bool = False,
         name: str = "cache",
+        admission_policy: AdmissionPolicy | None = None,
+        degradation_policy: DegradationPolicy | None = None,
+        instrumentation: InstrumentationBus | None = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise CacheCapacityError(
                 f"capacity must be positive: {capacity_bytes}"
             )
-        if stale_serve_max_age_ms is not None and stale_serve_max_age_ms < 0:
-            raise CacheError(
-                "stale_serve_max_age_ms must be non-negative: "
-                f"{stale_serve_max_age_ms}"
+        if degradation_policy is None:
+            degradation_policy = DefaultDegradationPolicy(
+                serve_stale_on_error=serve_stale_on_error,
+                stale_serve_max_age_ms=stale_serve_max_age_ms,
+                bypass_backing_on_error=bypass_backing_on_error,
+                verifier_quarantine_threshold=verifier_quarantine_threshold,
             )
-        if (
-            verifier_quarantine_threshold is not None
-            and verifier_quarantine_threshold < 1
-        ):
-            raise CacheError(
-                "verifier_quarantine_threshold must be >= 1: "
-                f"{verifier_quarantine_threshold}"
-            )
-        self.kernel = kernel
-        self.ctx = kernel.ctx
-        self.capacity_bytes = capacity_bytes
-        self.policy = policy or GreedyDualSizePolicy()
-        self.bus = bus or InvalidationBus(self.ctx)
-        self.write_mode = write_mode
-        self.install_notifiers = install_notifiers
-        self.use_verifiers = use_verifiers
-        self.track_staleness = track_staleness
-        self.backing = backing
-        self.share_across_users = share_across_users
-        self.serve_stale_on_error = serve_stale_on_error
-        self.stale_serve_max_age_ms = stale_serve_max_age_ms
-        self.retry_policy = retry_policy
-        self.verifier_quarantine_threshold = verifier_quarantine_threshold
-        self.bypass_backing_on_error = bypass_backing_on_error
+        ctx = kernel.ctx
         if placement is None:
-            self._topology = self.ctx.topology
+            topology = ctx.topology
         else:
-            self._topology = Topology(placement=placement)
-        self.cache_id: CacheId = self.ctx.ids.cache(name)
-        self.stats = CacheStats()
-        self.store = ContentStore()
-        self._entries: dict[EntryKey, CacheEntry] = {}
-        #: Consecutive raise-failures per (document, verifier type), and
-        #: the keys currently quarantined.
-        self._verifier_failures: dict[tuple[DocumentId, str], int] = {}
-        self._quarantined: set[tuple[DocumentId, str]] = set()
-        self._dirty: dict[EntryKey, tuple["DocumentReference", bytes]] = {}
+            topology = Topology(placement=placement)
+        self.instrumentation = instrumentation or InstrumentationBus()
+        self._core = CacheCore(
+            kernel=kernel,
+            capacity_bytes=capacity_bytes,
+            cache_id=ctx.ids.cache(name),
+            policy=policy or GreedyDualSizePolicy(),
+            admission=admission_policy or VoteAdmissionPolicy(),
+            degradation=degradation_policy,
+            bus=bus
+            or InvalidationBus(ctx, instrumentation=self.instrumentation),
+            instrumentation=self.instrumentation,
+            topology=topology,
+            write_mode=write_mode,
+            install_notifiers=install_notifiers,
+            use_verifiers=use_verifiers,
+            track_staleness=track_staleness,
+            share_across_users=share_across_users,
+            backing=backing,
+            retry_policy=retry_policy,
+        )
+        self.recorder = StageRecorder()
+        self.instrumentation.subscribe(StatsProjection(self._core.stats))
+        self.instrumentation.subscribe(self.recorder)
+        self._writes = WritePipeline(self._core)
+        self._reads = ReadPipeline(self._core, self._writes)
         self._prefetch_queue: list["DocumentReference"] = []
         self._draining_prefetch = False
         self.bus.register(self.cache_id, self.apply_invalidation)
 
+    # -- wiring access -------------------------------------------------------
+
+    #: Attributes transparently read from the core (kernel/context/state
+    #: handles plus the construction-time configuration flags).
+    _CORE_ATTRS = frozenset({
+        "kernel", "ctx", "capacity_bytes", "policy", "bus", "stats",
+        "store", "cache_id", "write_mode", "backing", "retry_policy",
+        "install_notifiers", "use_verifiers", "track_staleness",
+        "share_across_users",
+    })
+    #: Degradation bounds, readable under their legacy constructor names.
+    _DEGRADATION_ATTRS = frozenset({
+        "serve_stale_on_error", "stale_serve_max_age_ms",
+        "bypass_backing_on_error",
+    })
+
+    def __getattr__(self, name: str):
+        if not name.startswith("_"):
+            if name in DocumentCache._CORE_ATTRS:
+                return getattr(self._core, name)
+            if name in DocumentCache._DEGRADATION_ATTRS:
+                return getattr(self._core.degradation, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def admission_policy(self) -> AdmissionPolicy:
+        """The fill-admission policy."""
+        return self._core.admission
+
+    @property
+    def degradation_policy(self) -> DegradationPolicy:
+        """The degradation/quarantine policy."""
+        return self._core.degradation
+
+    @property
+    def verifier_quarantine_threshold(self) -> int | None:
+        """Consecutive verifier raises before quarantine, if enabled."""
+        return getattr(
+            self._core.degradation, "verifier_quarantine_threshold", None
+        )
+
     # -- introspection ------------------------------------------------------
 
     def __contains__(self, key: EntryKey) -> bool:
-        return key in self._entries
+        return key in self._core.entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._core.entries)
 
     def entries(self) -> list[CacheEntry]:
         """All live entries (unspecified order)."""
-        return list(self._entries.values())
+        return list(self._core.entries.values())
 
     def entry_for(self, reference: "DocumentReference") -> CacheEntry | None:
         """The live entry for a reference's (document, user) pair, if any."""
-        return self._entries.get(self._key(reference))
+        return self._core.entries.get(self._key(reference))
 
     @property
     def used_bytes(self) -> int:
         """Physical (deduplicated) bytes currently cached."""
-        return self.store.physical_bytes
+        return self._core.store.physical_bytes
 
     @staticmethod
     def _key(reference: "DocumentReference") -> EntryKey:
-        return EntryKey(reference.base.document_id, reference.owner)
+        return EntryKey.for_reference(reference)
+
+    def _expected_chain_signature(self, reference: "DocumentReference"):
+        """See :meth:`CacheCore.expected_chain_signature`."""
+        return self._core.expected_chain_signature(reference)
+
+    def stage_breakdown(self) -> StageRecorder:
+        """Per-(stage, outcome) count/latency recorder for this cache."""
+        return self.recorder
 
     def describe(self) -> str:
-        """Human-readable dump of the cache's state, for debugging.
-
-        One line per entry: key, content signature, size, cacheability,
-        verifier count, replacement cost, pinned/dirty flags.
-        """
+        """Human-readable dump of the cache's state, one line per entry."""
+        core = self._core
         lines = [
-            f"{self.cache_id}: {len(self._entries)} entries, "
-            f"{self.store.physical_bytes}/{self.capacity_bytes} bytes "
-            f"({len(self.store)} distinct contents), "
+            f"{self.cache_id}: {len(core.entries)} entries, "
+            f"{core.store.physical_bytes}/{self.capacity_bytes} bytes "
+            f"({len(core.store)} distinct contents), "
             f"policy={self.policy.name}, mode={self.write_mode.value}"
         ]
-        for entry in sorted(self._entries.values(), key=lambda e: str(e.key)):
+        for entry in sorted(core.entries.values(), key=lambda e: str(e.key)):
             flags = []
             if entry.pinned:
                 flags.append("pinned")
@@ -286,8 +286,8 @@ class DocumentCache:
                 f"accesses={entry.access_count}"
                 + (f" [{','.join(flags)}]" if flags else "")
             )
-        if self._dirty:
-            lines.append(f"  dirty write-backs pending: {len(self._dirty)}")
+        if core.dirty:
+            lines.append(f"  dirty write-backs pending: {len(core.dirty)}")
         return "\n".join(lines)
 
     # -- read path -----------------------------------------------------------
@@ -299,46 +299,33 @@ class DocumentCache:
         read are serviced *after* the outcome is computed, so prefetch
         work never inflates the triggering read's latency.
         """
-        outcome = self._read_inner(reference)
+        outcome = self._reads.read(reference)
         self._drain_prefetch()
         return outcome
 
-    def _read_inner(self, reference: "DocumentReference") -> CacheReadOutcome:
-        key = self._key(reference)
-        started_ms = self.ctx.clock.now_ms
+    def read_for_fill(self, reference: "DocumentReference"):
+        """Serve an upper-level cache: content plus fill metadata.
 
-        # A write-back user reading their own dirty document must see
-        # their buffered write; flush it through the full path first.
-        if key in self._dirty:
-            self.flush(reference)
-
-        entry = self._entries.get(key)
-        stale: tuple[bytes, float] | None = None
-        if entry is not None:
-            outcome, stale = self._try_hit(reference, entry, started_ms)
-            if outcome is not None:
-                if entry.policy_state.get("prefetched"):
-                    self.stats.prefetched_hits += 1
-                    entry.policy_state["prefetched"] = False
-                return outcome
-        return self._miss(reference, key, started_ms, stale)
+        A hit synthesizes the metadata the upper cache needs (verifiers,
+        cacheability, replacement cost, chain signature) from the stored
+        entry — the same information the read path originally supplied;
+        a miss runs the normal miss path and reuses its metadata.
+        """
+        return self._reads.read_for_fill(reference)
 
     # -- collection prefetch (§5 "related documents") -------------------------
 
     def request_prefetch(self, reference: "DocumentReference") -> bool:
-        """Queue a sibling document for prefetching after the current read.
-
-        Used by :class:`~repro.properties.collection.CollectionPrefetchProperty`
-        to tailor caching for related documents.  Returns True if queued
-        (not already cached or queued).
-        """
+        """Queue a sibling document for prefetching after the current read
+        (used by ``CollectionPrefetchProperty`` to tailor caching for
+        related documents).  Returns True if queued."""
         key = self._key(reference)
-        if key in self._entries:
+        if key in self._core.entries:
             return False
         if any(self._key(queued) == key for queued in self._prefetch_queue):
             return False
         self._prefetch_queue.append(reference)
-        self.stats.prefetch_requests += 1
+        self._core.emit("prefetch", "requested", key=key)
         return True
 
     def _drain_prefetch(self) -> None:
@@ -350,587 +337,59 @@ class DocumentCache:
             while self._prefetch_queue:
                 reference = self._prefetch_queue.pop(0)
                 key = self._key(reference)
-                if key in self._entries:
+                if key in self._core.entries:
                     continue
-                self._read_inner(reference)
-                entry = self._entries.get(key)
+                self._reads.read(reference)
+                entry = self._core.entries.get(key)
                 if entry is not None:
                     entry.policy_state["prefetched"] = True
-                    self.stats.prefetch_fills += 1
+                    self._core.emit("prefetch", "filled", key=key)
         finally:
             self._draining_prefetch = False
 
-    def _try_hit(
-        self,
-        reference: "DocumentReference",
-        entry: CacheEntry,
-        started_ms: float,
-    ) -> tuple[CacheReadOutcome | None, tuple[bytes, float] | None]:
-        """Serve a hit if the verifiers agree.
-
-        Returns ``(outcome, None)`` on a hit, or ``(None, (stale_bytes,
-        filled_at_ms))`` when a verifier invalidated the entry — the
-        caller falls through to the miss path, keeping the stale bytes
-        (and their age) available for bounded serve-stale-on-error.
-        """
-        content = self.store.get(entry.signature)
-        stale = (content, entry.created_at_ms)
-        disposition = "hit"
-        # "cache hit" latency: the local (or app→server) hop only.
-        for hop in self._topology.hit_path():
-            self.ctx.charge_hop(hop, entry.size)
-
-        if self.use_verifiers:
-            if self._entry_quarantined(entry):
-                # A repeatedly-failing verifier guards this entry: the
-                # entry cannot be trusted and the verifier cannot be
-                # afforded — force a miss instead of verifying.
-                self._drop(entry, InvalidationReason.VERIFIER_FAILED,
-                           origin="quarantine")
-                self.stats.quarantine_forced_misses += 1
-                return None, stale
-            for verifier in entry.verifiers:
-                self.stats.verifier_executions += 1
-                self.stats.verifier_cost_ms += verifier.cost_ms
-                self.ctx.charge(verifier.cost_ms)
-                try:
-                    if self.ctx.faults is not None:
-                        self.ctx.faults.check_verifier(
-                            verifier.cost_ms,
-                            label=type(verifier).__name__,
-                        )
-                    result = verifier.run(self.ctx.clock.now_ms, content)
-                except Exception:
-                    self._note_verifier_failure(entry, verifier)
-                    self._drop(entry, InvalidationReason.VERIFIER_FAILED,
-                               origin="verifier")
-                    self.stats.verifier_invalidations += 1
-                    self._note_verifier_caught_lost(entry)
-                    return None, (content, entry.created_at_ms)
-                self._note_verifier_success(entry, verifier)
-                if result.verdict is Verdict.INVALID:
-                    reason = (
-                        InvalidationReason.SOURCE_UPDATED_OUT_OF_BAND
-                        if verifier.invalidation_label == "source"
-                        else InvalidationReason.EXTERNAL_CHANGED
-                    )
-                    self._drop(entry, reason, origin="verifier")
-                    self.stats.verifier_invalidations += 1
-                    self._note_verifier_caught_lost(entry)
-                    return None, (content, entry.created_at_ms)
-                if result.verdict is Verdict.REVALIDATED:
-                    content = result.patched_content or b""
-                    self._replace_content(entry, content)
-                    self.stats.verifier_revalidations += 1
-                    disposition = "revalidated"
-
-        if entry.cacheability.requires_event_forwarding:
-            self._forward_read(reference)
-
-        entry.touch(self.ctx.clock.now_ms)
-        self.policy.on_access(entry)
-        if self.track_staleness and self._is_stale(reference, entry):
-            self.stats.stale_hits += 1
-        elapsed = self.ctx.clock.now_ms - started_ms
-        self.stats.hits += 1
-        self.stats.hit_latency_ms += elapsed
-        self.stats.bytes_served_from_cache += len(content)
-        return (
-            CacheReadOutcome(
-                content=content, hit=True, elapsed_ms=elapsed,
-                disposition=disposition,
-            ),
-            None,
-        )
-
-    def _fetch(self, reference: "DocumentReference"):
-        """Fetch content + path metadata from the next level down.
-
-        With a backing cache this is the second-level cache (which may
-        itself hit or miss); without one it is the full Placeless read
-        path.
-        """
-        if self.backing is not None:
-            return self.backing.read_for_fill(reference)
-        outcome = self.kernel.read(reference)
-        return outcome.content, outcome.meta
-
-    def _fetch_with_retry(self, reference: "DocumentReference"):
-        """Fetch from the level below under the retry policy, if any."""
-        if self.retry_policy is None:
-            return self._fetch(reference)
-        return self.retry_policy.call(
-            self.ctx,
-            lambda: self._fetch(reference),
-            on_retry=self._count_retry,
-        )
-
-    def _count_retry(
-        self, attempt: int, delay_ms: float, error: BaseException
-    ) -> None:
-        self.stats.retries += 1
-        self.stats.retry_delay_ms += delay_ms
-
-    def _bypass_backing(self, reference: "DocumentReference"):
-        """Degraded fetch past a failed backing level, or ``None``.
-
-        When the second-level cache is unreachable, a cache configured
-        with ``bypass_backing_on_error`` goes straight to the kernel —
-        the content is fresh, only the hierarchy is degraded.
-        """
-        if self.backing is None or not self.bypass_backing_on_error:
-            return None
-        try:
-            outcome = self.kernel.read(reference)
-        except Exception:
-            return None
-        self.stats.backing_bypasses += 1
-        self.stats.degraded_serves += 1
-        return outcome.content, outcome.meta
-
-    def _serve_stale(
-        self, stale: tuple[bytes, float] | None, started_ms: float
-    ) -> CacheReadOutcome | None:
-        """Bounded serve-stale-on-error, or ``None`` if not permitted."""
-        if not self.serve_stale_on_error or stale is None:
-            return None
-        content, filled_at_ms = stale
-        if self.stale_serve_max_age_ms is not None:
-            age_ms = self.ctx.clock.now_ms - filled_at_ms
-            if age_ms > self.stale_serve_max_age_ms:
-                self.stats.stale_serve_rejected += 1
-                return None
-        elapsed = self.ctx.clock.now_ms - started_ms
-        self.stats.misses += 1
-        self.stats.miss_latency_ms += elapsed
-        self.stats.stale_served_on_error += 1
-        self.stats.degraded_serves += 1
-        return CacheReadOutcome(
-            content=content, hit=False, elapsed_ms=elapsed,
-            disposition="stale-on-error",
-        )
-
-    def _miss(
-        self,
-        reference: "DocumentReference",
-        key: EntryKey,
-        started_ms: float,
-        stale: tuple[bytes, float] | None = None,
-    ) -> CacheReadOutcome:
-        """Full read through the level below, then fill if cacheable.
-
-        On fetch failure (after any retries) the degradation cascade
-        runs: fresh content fetched past a failed backing level first,
-        bounded stale bytes second, and only then does the read fail.
-        """
-        if self.share_across_users:
-            adopted = self._try_adopt(reference, key)
-            if adopted is not None:
-                elapsed = self.ctx.clock.now_ms - started_ms
-                self.stats.misses += 1
-                self.stats.miss_latency_ms += elapsed
-                return CacheReadOutcome(
-                    content=self.store.get(adopted.signature),
-                    hit=False,
-                    elapsed_ms=elapsed,
-                    disposition="miss-adopted",
-                )
-        degraded = False
-        try:
-            content, meta = self._fetch_with_retry(reference)
-        except CacheError:
-            raise
-        except Exception:
-            self.stats.fetch_failures += 1
-            recovered = self._bypass_backing(reference)
-            if recovered is None:
-                outcome = self._serve_stale(stale, started_ms)
-                if outcome is None:
-                    raise
-                return outcome
-            content, meta = recovered
-            degraded = True
-        disposition = "miss-degraded" if degraded else "miss"
-
-        if not meta.cacheability.allows_caching:
-            self.stats.uncacheable_reads += 1
-            disposition = "uncacheable"
-        elif len(content) > self.capacity_bytes:
-            disposition = "miss-oversize"
-        else:
-            self._fill(reference, key, content, meta)
-
-        elapsed = self.ctx.clock.now_ms - started_ms
-        self.stats.misses += 1
-        self.stats.miss_latency_ms += elapsed
-        return CacheReadOutcome(
-            content=content, hit=False, elapsed_ms=elapsed,
-            disposition=disposition,
-        )
-
-    def read_for_fill(self, reference: "DocumentReference"):
-        """Serve an upper-level cache: content plus fill metadata.
-
-        A hit synthesizes the metadata the upper cache needs (verifiers,
-        cacheability, replacement cost, chain signature) from the stored
-        entry — the same information the read path originally supplied;
-        a miss runs the normal miss path and reuses its metadata.
-        """
-        key = self._key(reference)
-        started_ms = self.ctx.clock.now_ms
-        if key in self._dirty:
-            self.flush(reference)
-        entry = self._entries.get(key)
-        if entry is not None:
-            hit, _ = self._try_hit(reference, entry, started_ms)
-            if hit is not None:
-                live = self._entries.get(key)
-                if live is not None:
-                    return hit.content, self._meta_from_entry(live)
-        if self.share_across_users:
-            adopted = self._try_adopt(reference, key)
-            if adopted is not None:
-                self.stats.misses += 1
-                self.stats.miss_latency_ms += (
-                    self.ctx.clock.now_ms - started_ms
-                )
-                return (
-                    self.store.get(adopted.signature),
-                    self._meta_from_entry(adopted),
-                )
-        content, meta = self._fetch_with_retry(reference)
-        if not meta.cacheability.allows_caching:
-            self.stats.uncacheable_reads += 1
-        elif len(content) <= self.capacity_bytes:
-            self._fill(reference, key, content, meta)
-        elapsed = self.ctx.clock.now_ms - started_ms
-        self.stats.misses += 1
-        self.stats.miss_latency_ms += elapsed
-        return content, meta
-
-    def _meta_from_entry(self, entry: CacheEntry):
-        """Reconstruct read-path metadata from a stored entry."""
-        from repro.placeless.document import PathMeta
-
-        return PathMeta(
-            verifiers=list(entry.verifiers),
-            votes=[entry.cacheability],
-            replacement_cost_ms=entry.replacement_cost_ms,
-            chain_signature=entry.chain_signature,
-            properties_executed=0,
-            source_signature=entry.policy_state.get("source_signature"),
-            pin=entry.pinned,
-        )
-
-    def _fill(self, reference, key: EntryKey, content: bytes, meta) -> None:
-        """Insert (or refresh) the entry for *key* with *content*."""
-        existing = self._entries.get(key)
-        if existing is not None:
-            self._remove_entry(existing)
-
-        signature = self.store.put(content)
-        self._evict_to_capacity(protect=key)
-        now = self.ctx.clock.now_ms
-        entry = CacheEntry(
-            key=key,
-            signature=signature,
-            size=len(content),
-            cacheability=meta.cacheability,
-            verifiers=list(meta.verifiers),
-            replacement_cost_ms=meta.replacement_cost_ms,
-            chain_signature=meta.chain_signature,
-            reference_id=reference.reference_id,
-            created_at_ms=now,
-            last_access_ms=now,
-        )
-        entry.pinned = bool(getattr(meta, "pin", False))
-        entry.policy_state["source_signature"] = meta.source_signature
-        self._entries[key] = entry
-        self.policy.on_insert(entry)
-        self.stats.bytes_filled += len(content)
-        # Fill overhead: register the returned verifiers and install the
-        # minimum notifier set — Table 1's miss-vs-no-cache delta.
-        self.ctx.charge(VERIFIER_INSTALL_COST_MS * len(meta.verifiers))
-        if self.install_notifiers:
-            installed = install_minimum_notifiers(
-                reference, self.bus, self.cache_id
-            )
-            self.ctx.charge(NOTIFIER_INSTALL_COST_MS * len(installed))
-
-    def _evict_to_capacity(self, protect: EntryKey | None = None) -> None:
-        """Evict victims until physical bytes fit the capacity."""
-        while self.store.physical_bytes > self.capacity_bytes:
-            candidates = {
-                key: entry
-                for key, entry in self._entries.items()
-                if key != protect and not entry.pinned
-            }
-            if not candidates:
-                raise CacheError(
-                    "cannot satisfy capacity: nothing evictable"
-                )
-            victim_key = self.policy.select_victim(candidates)
-            victim = self._entries[victim_key]
-            self._drop(victim, InvalidationReason.EVICTED, origin="internal")
-            self.stats.evictions += 1
-
-    def _expected_chain_signature(self, reference: "DocumentReference"):
-        """The chain signature this reference's read path would record.
-
-        Computable from property metadata alone — no content fetch — so
-        a cache can predict whether another user's cached bytes apply.
-        """
-        chain = (
-            reference.base.stream_chain(EventType.GET_INPUT_STREAM)
-            + reference.stream_chain(EventType.GET_INPUT_STREAM)
-        )
-        return tuple(
-            signature
-            for signature in (p.transform_signature() for p in chain)
-            if signature is not None
-        )
-
-    def _try_adopt(
-        self, reference: "DocumentReference", key: EntryKey
-    ) -> CacheEntry | None:
-        """§3 signature adoption: reuse another user's identical version.
-
-        A candidate must be another user's valid entry for the same base
-        document whose recorded chain signature equals what this
-        reference's chain would produce; its verifiers are re-run (the
-        source could have changed) before the signature mapping is
-        established.
-        """
-        expected = self._expected_chain_signature(reference)
-        now = self.ctx.clock.now_ms
-        for candidate in list(self._entries.values()):
-            if candidate.document_id != key.document_id:
-                continue
-            if candidate.user_id == key.user_id:
-                continue
-            if candidate.chain_signature != expected:
-                continue
-            content = self.store.get(candidate.signature)
-            if self.use_verifiers and not self._candidate_fresh(
-                candidate, content, now
-            ):
-                continue
-            # Metadata exchange only: one cache-side hop, no content moves
-            # across the network (the bytes are already local).
-            for hop in self._topology.hit_path():
-                self.ctx.charge_hop(hop, 0)
-            self.ctx.charge(ADOPTION_COST_MS)
-            self.store.adopt(candidate.signature)
-            entry = CacheEntry(
-                key=key,
-                signature=candidate.signature,
-                size=candidate.size,
-                cacheability=candidate.cacheability,
-                verifiers=list(candidate.verifiers),
-                replacement_cost_ms=candidate.replacement_cost_ms,
-                chain_signature=expected,
-                reference_id=reference.reference_id,
-                created_at_ms=now,
-                last_access_ms=now,
-            )
-            entry.pinned = candidate.pinned
-            entry.policy_state["source_signature"] = (
-                candidate.policy_state.get("source_signature")
-            )
-            self._entries[key] = entry
-            self.policy.on_insert(entry)
-            self.stats.sibling_adoptions += 1
-            if self.install_notifiers:
-                installed = install_minimum_notifiers(
-                    reference, self.bus, self.cache_id
-                )
-                self.ctx.charge(NOTIFIER_INSTALL_COST_MS * len(installed))
-            return entry
-        return None
-
-    def _candidate_fresh(
-        self, candidate: CacheEntry, content: bytes, now_ms: float
-    ) -> bool:
-        """Re-run a candidate's verifiers before adopting its bytes."""
-        for verifier in candidate.verifiers:
-            self.stats.verifier_executions += 1
-            self.stats.verifier_cost_ms += verifier.cost_ms
-            self.ctx.charge(verifier.cost_ms)
-            try:
-                result = verifier.run(now_ms, content)
-            except Exception:
-                return False
-            if result.verdict is not Verdict.VALID:
-                return False
-        return True
-
     # -- verifier quarantine (graceful degradation) ---------------------------
-
-    @staticmethod
-    def _verifier_fault_key(
-        entry: CacheEntry, verifier
-    ) -> tuple[DocumentId, str]:
-        """Quarantine key: stable across refills (which rebuild verifier
-        objects), so repeated failures accumulate per document and
-        verifier type rather than per object."""
-        return (entry.document_id, type(verifier).__name__)
-
-    def _note_verifier_failure(self, entry: CacheEntry, verifier) -> None:
-        if self.verifier_quarantine_threshold is None:
-            return
-        key = self._verifier_fault_key(entry, verifier)
-        count = self._verifier_failures.get(key, 0) + 1
-        self._verifier_failures[key] = count
-        if (
-            count >= self.verifier_quarantine_threshold
-            and key not in self._quarantined
-        ):
-            self._quarantined.add(key)
-            self.stats.quarantined_verifiers += 1
-
-    def _note_verifier_success(self, entry: CacheEntry, verifier) -> None:
-        if self.verifier_quarantine_threshold is None:
-            return
-        self._verifier_failures.pop(
-            self._verifier_fault_key(entry, verifier), None
-        )
-
-    def _entry_quarantined(self, entry: CacheEntry) -> bool:
-        if not self._quarantined:
-            return False
-        return any(
-            self._verifier_fault_key(entry, verifier) in self._quarantined
-            for verifier in entry.verifiers
-        )
 
     def quarantined_verifier_keys(self) -> set[tuple[DocumentId, str]]:
         """The (document, verifier type) pairs currently quarantined."""
-        return set(self._quarantined)
+        return self._core.degradation.quarantined_keys()
 
     def lift_quarantines(self) -> int:
-        """Re-enable every quarantined verifier; returns how many.
-
-        Call after the underlying fault is known to be repaired (e.g. an
-        outage window ended); fills resume verification from scratch.
-        """
-        lifted = len(self._quarantined)
-        self._quarantined.clear()
-        self._verifier_failures.clear()
-        return lifted
-
-    def _note_verifier_caught_lost(self, entry: CacheEntry) -> None:
-        """Count a verifier invalidation that covered a lost callback."""
-        if self.bus.consume_lost(entry.document_id):
-            self.stats.dropped_notifier_detected += 1
+        """Re-enable every quarantined verifier (call once the underlying
+        fault is known repaired); returns how many were lifted."""
+        return self._core.degradation.lift_quarantines()
 
     # -- write path -----------------------------------------------------------
 
     def write(self, reference: "DocumentReference", content: bytes) -> float:
         """Write through (or into) the cache; returns elapsed virtual ms."""
-        key = self._key(reference)
-        started_ms = self.ctx.clock.now_ms
-        if self.write_mode is WriteMode.WRITE_THROUGH:
-            self.kernel.write(reference, content)
-            self.stats.writes_through += 1
-            self._invalidate_local(key, InvalidationReason.LOCAL_WRITE)
-        else:
-            # Write-back: buffer locally; only the local hop is paid now.
-            for hop in self._topology.hit_path():
-                self.ctx.charge_hop(hop, len(content))
-            self._dirty[key] = (reference, bytes(content))
-            # The cached read entry (if any) no longer reflects what this
-            # user would read — their buffered write supersedes it.
-            self._invalidate_local(key, InvalidationReason.LOCAL_WRITE)
-            self.stats.writes_backed += 1
-            self._forward_write(reference, len(content))
-        return self.ctx.clock.now_ms - started_ms
+        return self._writes.write(reference, content)
 
     def flush(self, reference: "DocumentReference") -> bool:
-        """Push a buffered write-back through the full write path.
-
-        Runs under the retry policy, if one is configured.  A flush that
-        still fails keeps the dirty buffer (the write is not lost; a
-        later flush can retry) and re-raises.
-        """
-        key = self._key(reference)
-        buffered = self._dirty.pop(key, None)
-        if buffered is None:
-            return False
-        dirty_reference, content = buffered
-        try:
-            if self.retry_policy is None:
-                self.kernel.write(dirty_reference, content)
-            else:
-                self.retry_policy.call(
-                    self.ctx,
-                    lambda: self.kernel.write(dirty_reference, content),
-                    on_retry=self._count_retry,
-                )
-        except Exception:
-            self._dirty[key] = buffered
-            self.stats.flush_failures += 1
-            raise
-        self.stats.flushes += 1
-        return True
+        """Push a buffered write-back through the full write path."""
+        return self._writes.flush(reference)
 
     def flush_all(self) -> int:
         """Flush every buffered write-back; returns how many flushed."""
-        flushed = 0
-        for key in list(self._dirty):
-            dirty_reference, _ = self._dirty[key]
-            if self.flush(dirty_reference):
-                flushed += 1
-        return flushed
+        return self._writes.flush_all()
 
     @property
     def dirty_count(self) -> int:
         """Buffered (unflushed) write-backs."""
-        return len(self._dirty)
-
-    # -- event forwarding -------------------------------------------------------
-
-    def _forward_read(self, reference: "DocumentReference") -> None:
-        """Forward a cache-served read as READ_FORWARDED events.
-
-        "the cache will forward the operation, but the Placeless system
-        will not execute them fully, instead just use them to trigger
-        active properties that have registered for these events." (§3)
-        """
-        for hop in self._topology.notifier_path():
-            self.ctx.charge_hop(hop, 0)
-        event = reference.make_event(EventType.READ_FORWARDED)
-        reference.base.dispatcher.dispatch(event)
-        reference.dispatcher.dispatch(event)
-        self.stats.forwarded_reads += 1
-
-    def _forward_write(self, reference: "DocumentReference", size: int) -> None:
-        """Forward a buffered write as WRITE_FORWARDED events, if wanted."""
-        event = reference.make_event(
-            EventType.WRITE_FORWARDED, payload={"size": size}
-        )
-        base_wants = reference.base.dispatcher.has_listener(
-            EventType.WRITE_FORWARDED
-        )
-        ref_wants = reference.dispatcher.has_listener(EventType.WRITE_FORWARDED)
-        if not (base_wants or ref_wants):
-            return
-        for hop in self._topology.notifier_path():
-            self.ctx.charge_hop(hop, 0)
-        if base_wants:
-            reference.base.dispatcher.dispatch(event)
-        if ref_wants:
-            reference.dispatcher.dispatch(event)
-        self.stats.forwarded_writes += 1
+        return len(self._core.dirty)
 
     # -- invalidation ------------------------------------------------------------
 
     def apply_invalidation(self, invalidation: Invalidation) -> None:
         """Sink for the invalidation bus (notifier deliveries)."""
-        self.stats.notifier_deliveries += 1
-        for key in list(self._entries):
-            if invalidation.matches(key.document_id, key.user_id):
-                self._drop(
-                    self._entries[key], invalidation.reason,
+        core = self._core
+        core.emit(
+            "notifier", "delivered",
+            key=EntryKey(invalidation.document_id, invalidation.user_id),
+        )
+        for key in list(core.entries):
+            if invalidation.matches_key(key):
+                core.drop(
+                    core.entries[key], invalidation.reason,
                     origin=invalidation.origin,
                 )
 
@@ -939,69 +398,21 @@ class DocumentCache:
     ) -> int:
         """Explicitly drop entries for a document; returns count dropped."""
         dropped = 0
+        core = self._core
         invalidation = Invalidation(
             reason=InvalidationReason.EXPLICIT,
             document_id=document_id,
             user_id=user_id,
-            at_ms=self.ctx.clock.now_ms,
+            at_ms=core.ctx.clock.now_ms,
         )
-        for key in list(self._entries):
-            if invalidation.matches(key.document_id, key.user_id):
-                self._drop(self._entries[key], InvalidationReason.EXPLICIT)
+        for key in list(core.entries):
+            if invalidation.matches_key(key):
+                core.drop(core.entries[key], InvalidationReason.EXPLICIT)
                 dropped += 1
         return dropped
 
     def clear(self) -> None:
         """Drop every entry (flushing nothing; dirty buffers survive)."""
-        for entry in list(self._entries.values()):
-            self._drop(entry, InvalidationReason.EXPLICIT)
-
-    def _invalidate_local(
-        self, key: EntryKey, reason: InvalidationReason
-    ) -> None:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._drop(entry, reason, origin="internal")
-
-    def _drop(
-        self,
-        entry: CacheEntry,
-        reason: InvalidationReason,
-        origin: str = "internal",
-    ) -> None:
-        """Invalidate and remove an entry, releasing its content bytes."""
-        entry.invalidate(
-            Invalidation(
-                reason=reason,
-                document_id=entry.document_id,
-                user_id=entry.user_id,
-                at_ms=self.ctx.clock.now_ms,
-                origin=origin,
-            )
-        )
-        self.stats.record_invalidation(reason)
-        self._remove_entry(entry)
-
-    def _remove_entry(self, entry: CacheEntry) -> None:
-        if self._entries.get(entry.key) is entry:
-            del self._entries[entry.key]
-            self.store.release(entry.signature)
-            self.policy.on_remove(entry)
-
-    def _replace_content(self, entry: CacheEntry, content: bytes) -> None:
-        """Swap an entry's bytes (verifier REVALIDATED patching)."""
-        self.store.release(entry.signature)
-        entry.signature = self.store.put(content)
-        entry.size = len(content)
-        self._evict_to_capacity(protect=entry.key)
-
-    def _is_stale(self, reference: "DocumentReference", entry: CacheEntry) -> bool:
-        """Ground-truth staleness: raw source changed since fill.
-
-        Uses :meth:`BitProvider.peek`, which charges nothing — this is
-        simulation-side omniscience, not something a real cache could do.
-        """
-        recorded = entry.policy_state.get("source_signature")
-        if recorded is None:
-            return False
-        return sign(reference.base.provider.peek()) != recorded
+        core = self._core
+        for entry in list(core.entries.values()):
+            core.drop(entry, InvalidationReason.EXPLICIT)

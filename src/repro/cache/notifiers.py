@@ -30,6 +30,11 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.cache.consistency import Invalidation, InvalidationReason
+from repro.cache.instrumentation import (
+    BusStatsProjection,
+    InstrumentationBus,
+    StageEvent,
+)
 from repro.errors import NotifierError, RepositoryOfflineError
 from repro.events.types import Event, EventType
 from repro.ids import CacheId, UserId
@@ -82,13 +87,38 @@ class InvalidationBus:
     virtual clock and delivered later).  Lost invalidations are remembered
     per document so the cache manager can count how many of them a
     verifier subsequently detected.
+
+    Delivery accounting is emitted as ``bus`` stage events on an
+    :class:`~repro.cache.instrumentation.InstrumentationBus` (pass the
+    cache's to get bus rows in its stage breakdown); :attr:`stats` is
+    derived from those events by a
+    :class:`~repro.cache.instrumentation.BusStatsProjection`.
     """
 
-    def __init__(self, ctx: SimContext) -> None:
+    def __init__(
+        self,
+        ctx: SimContext,
+        instrumentation: InstrumentationBus | None = None,
+    ) -> None:
         self.ctx = ctx
         self.stats = BusStats()
+        self.instrumentation = instrumentation or InstrumentationBus()
+        self.instrumentation.subscribe(BusStatsProjection(self.stats))
         self._sinks: dict[CacheId, Callable[[Invalidation], None]] = {}
         self._lost_documents: dict[object, int] = {}
+
+    def _emit(self, outcome: str, document_id=None, **payload) -> None:
+        now = self.ctx.clock.now_ms
+        self.instrumentation.emit(
+            StageEvent(
+                stage="bus",
+                outcome=outcome,
+                document_id=document_id,
+                started_ms=now,
+                ended_ms=now,
+                payload=payload,
+            )
+        )
 
     def register(
         self, cache_id: CacheId, sink: Callable[[Invalidation], None]
@@ -106,7 +136,7 @@ class InvalidationBus:
         if plan is not None:
             action, delay_ms = plan.notifier_disposition(str(cache_id))
             if action == "drop":
-                self.stats.lost += 1
+                self._emit("lost", document_id=invalidation.document_id)
                 if invalidation.document_id is not None:
                     self._lost_documents[invalidation.document_id] = (
                         self._lost_documents.get(invalidation.document_id, 0)
@@ -114,8 +144,11 @@ class InvalidationBus:
                     )
                 return
             if action == "delay":
-                self.stats.delayed += 1
-                self.stats.delay_ms_total += delay_ms
+                self._emit(
+                    "delayed",
+                    document_id=invalidation.document_id,
+                    delay_ms=delay_ms,
+                )
                 self.ctx.clock.call_after(
                     delay_ms,
                     lambda: self._deliver_now(
@@ -136,7 +169,7 @@ class InvalidationBus:
         """
         sink = self._sinks.get(cache_id)
         if sink is None:
-            self.stats.dropped += 1
+            self._emit("dropped", document_id=invalidation.document_id)
             return
         cost = 0.0
         try:
@@ -148,14 +181,15 @@ class InvalidationBus:
         except RepositoryOfflineError:
             # The notification died in transit on a downed link: it is
             # lost, exactly like a fault-plan drop.
-            self.stats.lost += 1
+            self._emit("lost", document_id=invalidation.document_id)
             if invalidation.document_id is not None:
                 self._lost_documents[invalidation.document_id] = (
                     self._lost_documents.get(invalidation.document_id, 0) + 1
                 )
             return
-        self.stats.deliveries += 1
-        self.stats.delivery_cost_ms += cost
+        self._emit(
+            "delivered", document_id=invalidation.document_id, cost_ms=cost
+        )
         sink(invalidation)
 
     def consume_lost(self, document_id: object) -> bool:

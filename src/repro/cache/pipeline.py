@@ -1,0 +1,664 @@
+"""The staged read/write pipeline behind :class:`DocumentCache`.
+
+A read is a fixed sequence of small stages, each a class with one
+``run(ctx)`` method over a shared typed :class:`ReadContext`:
+
+    dirty-flush → lookup → verifier-gate → adoption → fetch →
+    degradation → admission
+
+A stage returns ``None`` to pass the context on, or a terminal result
+(:class:`CacheReadOutcome` for application reads, a ``(content, meta)``
+pair for lower-level ``read_for_fill`` serves) to finish the read.  The
+write path is the same idea with two stages (interpose → buffer) plus a
+flush stage shared by write-back draining and the read path's
+dirty-flush gate.
+
+Stages hold no state of their own: everything mutable lives in the
+:class:`~repro.cache.core.CacheCore` they share, and every observable
+step is emitted onto the core's instrumentation bus.  The stage
+sequencing, virtual-clock charges, and fault-plan consultations happen
+in *exactly* the order the pre-pipeline monolithic manager performed
+them — the golden-digest equivalence tests pin byte-identical stats and
+fault traces across the refactor.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from dataclasses import dataclass
+
+from repro.cache.consistency import InvalidationReason
+from repro.cache.core import ADOPTION_COST_MS, NOTIFIER_INSTALL_COST_MS, CacheCore
+from repro.cache.entry import CacheEntry, EntryKey
+from repro.cache.notifiers import install_minimum_notifiers
+from repro.cache.policies import AdmissionDecision
+from repro.cache.verifiers import Verdict
+from repro.errors import CacheError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.placeless.document import PathMeta
+    from repro.placeless.reference import DocumentReference
+
+__all__ = [
+    "WriteMode",
+    "CacheReadOutcome",
+    "ReadContext",
+    "WriteContext",
+    "ReadPipeline",
+    "WritePipeline",
+    "DirtyFlushStage",
+    "LookupStage",
+    "VerifierGateStage",
+    "AdoptionStage",
+    "FetchStage",
+    "DegradationStage",
+    "AdmissionStage",
+    "InterposeStage",
+    "BufferStage",
+    "FlushStage",
+]
+
+
+class WriteMode(enum.Enum):
+    """Write-through vs. write-back (§3, Cache Management)."""
+
+    WRITE_THROUGH = "write-through"
+    WRITE_BACK = "write-back"
+
+
+@dataclass
+class CacheReadOutcome:
+    """Result of one read through the cache."""
+
+    content: bytes
+    hit: bool
+    elapsed_ms: float
+    #: "hit", "revalidated", "miss", "miss-verifier", "miss-invalidated",
+    #: "uncacheable", "miss-oversize", "miss-adopted", or a degraded
+    #: mode: "stale-on-error" (bounded stale bytes served because the
+    #: refetch failed) / "miss-degraded" (fetched past a failed backing
+    #: level).
+    disposition: str
+
+    @property
+    def degraded(self) -> bool:
+        """True when this read was answered in a degradation mode."""
+        return self.disposition in ("stale-on-error", "miss-degraded")
+
+    @property
+    def size(self) -> int:
+        """Bytes delivered to the application."""
+        return len(self.content)
+
+
+@dataclass
+class ReadContext:
+    """Mutable state threaded through the read stages for one read."""
+
+    reference: "DocumentReference"
+    key: EntryKey
+    started_ms: float
+    #: True when a lower-level cache serves an upper one: the terminal
+    #: result is ``(content, meta)`` instead of a ``CacheReadOutcome``,
+    #: fetch failures propagate undegraded, and hits re-derive fill
+    #: metadata from the live entry.
+    for_fill: bool = False
+    #: The looked-up entry, cleared when a gate invalidates it.
+    entry: CacheEntry | None = None
+    #: Invalidated-but-still-held bytes and their fill time, kept for
+    #: bounded serve-stale-on-error.
+    stale: tuple[bytes, float] | None = None
+    #: Fetched content + path metadata, once the fetch stage ran.
+    content: bytes | None = None
+    meta: "PathMeta | None" = None
+    #: True when the content was fetched past a failed backing level.
+    degraded: bool = False
+    #: The fetch failure awaiting the degradation stage's decision.
+    fetch_error: BaseException | None = None
+
+
+@dataclass
+class WriteContext:
+    """Mutable state threaded through the write stages for one write."""
+
+    reference: "DocumentReference"
+    key: EntryKey
+    content: bytes
+    started_ms: float
+
+
+# -- read stages ---------------------------------------------------------------
+
+
+class DirtyFlushStage:
+    """A write-back user reading their own dirty document must see their
+    buffered write; flush it through the full path first."""
+
+    def __init__(self, core: CacheCore, writes: "WritePipeline") -> None:
+        self.core = core
+        self.writes = writes
+
+    def run(self, ctx: ReadContext):
+        if ctx.key in self.core.dirty:
+            self.writes.flush(ctx.reference)
+        return None
+
+
+class LookupStage:
+    """Find the live entry for the (document, user) key, if any."""
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: ReadContext):
+        ctx.entry = self.core.entries.get(ctx.key)
+        return None
+
+
+class VerifierGateStage:
+    """Serve a hit if the entry's verifiers agree (§3's hit-time check).
+
+    On a verified hit the read terminates here; when a verifier
+    invalidates (or a quarantine forces a miss) the stale bytes and
+    their age are parked on the context for bounded serve-stale and the
+    read falls through to the miss stages.
+    """
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: ReadContext):
+        entry = ctx.entry
+        if entry is None:
+            return None
+        core = self.core
+        content = core.store.get(entry.signature)
+        stale = (content, entry.created_at_ms)
+        disposition = "hit"
+        # "cache hit" latency: the local (or app→server) hop only.
+        for hop in core.topology.hit_path():
+            core.ctx.charge_hop(hop, entry.size)
+
+        if core.use_verifiers:
+            if self._entry_quarantined(entry):
+                # A repeatedly-failing verifier guards this entry: the
+                # entry cannot be trusted and the verifier cannot be
+                # afforded — force a miss instead of verifying.
+                core.drop(entry, InvalidationReason.VERIFIER_FAILED,
+                          origin="quarantine")
+                core.emit("quarantine", "forced-miss", key=ctx.key)
+                ctx.entry = None
+                ctx.stale = stale
+                return None
+            for verifier in entry.verifiers:
+                verifier_started_ms = core.ctx.clock.now_ms
+                core.ctx.charge(verifier.cost_ms)
+                core.emit(
+                    "verifier", "executed", key=ctx.key,
+                    started_ms=verifier_started_ms,
+                    cost_ms=verifier.cost_ms,
+                )
+                try:
+                    if core.ctx.faults is not None:
+                        core.ctx.faults.check_verifier(
+                            verifier.cost_ms,
+                            label=type(verifier).__name__,
+                        )
+                    result = verifier.run(core.ctx.clock.now_ms, content)
+                except Exception:
+                    self._note_failure(entry, verifier)
+                    core.drop(entry, InvalidationReason.VERIFIER_FAILED,
+                              origin="verifier")
+                    core.emit("verifier", "invalidated", key=ctx.key)
+                    core.note_verifier_caught_lost(entry)
+                    ctx.entry = None
+                    ctx.stale = (content, entry.created_at_ms)
+                    return None
+                core.degradation.note_verifier_success(
+                    core.verifier_fault_key(entry, verifier)
+                )
+                if result.verdict is Verdict.INVALID:
+                    reason = (
+                        InvalidationReason.SOURCE_UPDATED_OUT_OF_BAND
+                        if verifier.invalidation_label == "source"
+                        else InvalidationReason.EXTERNAL_CHANGED
+                    )
+                    core.drop(entry, reason, origin="verifier")
+                    core.emit("verifier", "invalidated", key=ctx.key)
+                    core.note_verifier_caught_lost(entry)
+                    ctx.entry = None
+                    ctx.stale = (content, entry.created_at_ms)
+                    return None
+                if result.verdict is Verdict.REVALIDATED:
+                    content = result.patched_content or b""
+                    core.replace_content(entry, content)
+                    core.emit("verifier", "revalidated", key=ctx.key)
+                    disposition = "revalidated"
+
+        if entry.cacheability.requires_event_forwarding:
+            core.forward_read(ctx.reference)
+
+        entry.touch(core.ctx.clock.now_ms)
+        core.policy.on_access(entry)
+        if core.track_staleness and core.is_stale(ctx.reference, entry):
+            core.emit("staleness", "stale-hit", key=ctx.key)
+        elapsed = core.ctx.clock.now_ms - ctx.started_ms
+        core.emit(
+            "read", disposition, key=ctx.key,
+            started_ms=ctx.started_ms, bytes=len(content),
+        )
+        if ctx.for_fill:
+            # Serving an upper cache: re-derive fill metadata from the
+            # live entry.  Event forwarding may have invalidated it
+            # reentrantly — fall through to the miss stages if so.
+            live = core.entries.get(ctx.key)
+            if live is not None:
+                return (content, core.meta_from_entry(live))
+            ctx.entry = None
+            return None
+        if entry.policy_state.get("prefetched"):
+            core.emit("prefetch", "hit", key=ctx.key)
+            entry.policy_state["prefetched"] = False
+        return CacheReadOutcome(
+            content=content, hit=True, elapsed_ms=elapsed,
+            disposition=disposition,
+        )
+
+    def _entry_quarantined(self, entry: CacheEntry) -> bool:
+        core = self.core
+        return any(
+            core.degradation.is_quarantined(
+                core.verifier_fault_key(entry, verifier)
+            )
+            for verifier in entry.verifiers
+        )
+
+    def _note_failure(self, entry: CacheEntry, verifier) -> None:
+        core = self.core
+        newly = core.degradation.note_verifier_failure(
+            core.verifier_fault_key(entry, verifier)
+        )
+        if newly:
+            core.emit("quarantine", "added", key=entry.key)
+
+
+class AdoptionStage:
+    """§3 signature adoption: reuse another user's identical version.
+
+    A candidate must be another user's valid entry for the same base
+    document whose recorded chain signature equals what this reference's
+    chain would produce; its verifiers are re-run (the source could have
+    changed) before the signature mapping is established.
+    """
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: ReadContext):
+        core = self.core
+        if not core.share_across_users:
+            return None
+        adopted = self._try_adopt(ctx)
+        if adopted is None:
+            return None
+        core.emit(
+            "read", "miss-adopted", key=ctx.key, started_ms=ctx.started_ms
+        )
+        if ctx.for_fill:
+            return (
+                core.store.get(adopted.signature),
+                core.meta_from_entry(adopted),
+            )
+        elapsed = core.ctx.clock.now_ms - ctx.started_ms
+        return CacheReadOutcome(
+            content=core.store.get(adopted.signature),
+            hit=False,
+            elapsed_ms=elapsed,
+            disposition="miss-adopted",
+        )
+
+    def _try_adopt(self, ctx: ReadContext) -> CacheEntry | None:
+        core = self.core
+        key = ctx.key
+        expected = core.expected_chain_signature(ctx.reference)
+        now = core.ctx.clock.now_ms
+        for candidate in list(core.entries.values()):
+            if candidate.document_id != key.document_id:
+                continue
+            if candidate.user_id == key.user_id:
+                continue
+            if candidate.chain_signature != expected:
+                continue
+            content = core.store.get(candidate.signature)
+            if core.use_verifiers and not self._candidate_fresh(
+                candidate, content, now
+            ):
+                continue
+            # Metadata exchange only: one cache-side hop, no content moves
+            # across the network (the bytes are already local).
+            for hop in core.topology.hit_path():
+                core.ctx.charge_hop(hop, 0)
+            core.ctx.charge(ADOPTION_COST_MS)
+            core.store.adopt(candidate.signature)
+            entry = CacheEntry(
+                key=key,
+                signature=candidate.signature,
+                size=candidate.size,
+                cacheability=candidate.cacheability,
+                verifiers=list(candidate.verifiers),
+                replacement_cost_ms=candidate.replacement_cost_ms,
+                chain_signature=expected,
+                reference_id=ctx.reference.reference_id,
+                created_at_ms=now,
+                last_access_ms=now,
+            )
+            entry.pinned = candidate.pinned
+            entry.policy_state["source_signature"] = (
+                candidate.policy_state.get("source_signature")
+            )
+            core.entries[key] = entry
+            core.policy.on_insert(entry)
+            core.emit("adoption", "adopted", key=key)
+            if core.install_notifiers:
+                installed = install_minimum_notifiers(
+                    ctx.reference, core.bus, core.cache_id
+                )
+                core.ctx.charge(NOTIFIER_INSTALL_COST_MS * len(installed))
+            return entry
+        return None
+
+    def _candidate_fresh(
+        self, candidate: CacheEntry, content: bytes, now_ms: float
+    ) -> bool:
+        """Re-run a candidate's verifiers before adopting its bytes."""
+        core = self.core
+        for verifier in candidate.verifiers:
+            verifier_started_ms = core.ctx.clock.now_ms
+            core.ctx.charge(verifier.cost_ms)
+            core.emit(
+                "verifier", "executed", key=candidate.key,
+                started_ms=verifier_started_ms,
+                cost_ms=verifier.cost_ms,
+            )
+            try:
+                result = verifier.run(now_ms, content)
+            except Exception:
+                return False
+            if result.verdict is not Verdict.VALID:
+                return False
+        return True
+
+
+class FetchStage:
+    """Full read through the level below, under the retry policy.
+
+    Application reads trap the failure for the degradation stage;
+    fill-serving reads let it propagate to the upper cache, whose own
+    degradation cascade decides.
+    """
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: ReadContext):
+        core = self.core
+        if ctx.for_fill:
+            ctx.content, ctx.meta = core.fetch_with_retry(ctx.reference)
+            return None
+        try:
+            ctx.content, ctx.meta = core.fetch_with_retry(ctx.reference)
+        except CacheError:
+            raise
+        except Exception as error:
+            core.emit("fetch", "failed", key=ctx.key)
+            ctx.fetch_error = error
+        return None
+
+
+class DegradationStage:
+    """The fetch-failure cascade: fresh content fetched past a failed
+    backing level first, bounded stale bytes second, and only then does
+    the read fail."""
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: ReadContext):
+        if ctx.fetch_error is None:
+            return None
+        core = self.core
+        recovered = self._bypass_backing(ctx.reference)
+        if recovered is not None:
+            core.emit("degradation", "bypassed", key=ctx.key)
+            ctx.content, ctx.meta = recovered
+            ctx.degraded = True
+            ctx.fetch_error = None
+            return None
+        outcome = self._serve_stale(ctx)
+        if outcome is None:
+            raise ctx.fetch_error
+        return outcome
+
+    def _bypass_backing(self, reference: "DocumentReference"):
+        """Degraded fetch past a failed backing level, or ``None``.
+
+        When the second-level cache is unreachable, a cache configured
+        with ``bypass_backing_on_error`` goes straight to the kernel —
+        the content is fresh, only the hierarchy is degraded.
+        """
+        core = self.core
+        if core.backing is None or not core.degradation.bypass_backing_on_error:
+            return None
+        try:
+            outcome = core.kernel.read(reference)
+        except Exception:
+            return None
+        return outcome.content, outcome.meta
+
+    def _serve_stale(self, ctx: ReadContext) -> CacheReadOutcome | None:
+        """Bounded serve-stale-on-error, or ``None`` if not permitted."""
+        core = self.core
+        if not core.degradation.serve_stale_on_error or ctx.stale is None:
+            return None
+        content, filled_at_ms = ctx.stale
+        age_ms = core.ctx.clock.now_ms - filled_at_ms
+        if not core.degradation.stale_age_acceptable(age_ms):
+            core.emit("degradation", "stale-rejected", key=ctx.key)
+            return None
+        elapsed = core.ctx.clock.now_ms - ctx.started_ms
+        core.emit("degradation", "stale-served", key=ctx.key)
+        core.emit(
+            "read", "stale-on-error", key=ctx.key, started_ms=ctx.started_ms
+        )
+        return CacheReadOutcome(
+            content=content, hit=False, elapsed_ms=elapsed,
+            disposition="stale-on-error",
+        )
+
+
+class AdmissionStage:
+    """Terminal miss stage: consult the admission policy, fill, account.
+
+    The returned cacheability vote decides whether/how to fill (§3);
+    content larger than the whole cache is served but never admitted.
+    """
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: ReadContext):
+        core = self.core
+        content, meta = ctx.content, ctx.meta
+        assert content is not None and meta is not None
+        disposition = "miss-degraded" if ctx.degraded else "miss"
+        decision = core.admission.decide(content, meta, core.capacity_bytes)
+        if decision is AdmissionDecision.UNCACHEABLE:
+            core.emit("admission", "uncacheable", key=ctx.key)
+            disposition = "uncacheable"
+        elif decision is AdmissionDecision.OVERSIZE:
+            core.emit("admission", "oversize", key=ctx.key)
+            disposition = "miss-oversize"
+        else:
+            core.fill(ctx.reference, ctx.key, content, meta)
+            core.emit("admission", "filled", key=ctx.key, bytes=len(content))
+        core.emit(
+            "read", disposition, key=ctx.key, started_ms=ctx.started_ms
+        )
+        if ctx.for_fill:
+            return (content, meta)
+        elapsed = core.ctx.clock.now_ms - ctx.started_ms
+        return CacheReadOutcome(
+            content=content, hit=False, elapsed_ms=elapsed,
+            disposition=disposition,
+        )
+
+
+class ReadPipeline:
+    """Runs the read stages in order until one produces a result."""
+
+    def __init__(self, core: CacheCore, writes: "WritePipeline") -> None:
+        self.core = core
+        self.stages = [
+            DirtyFlushStage(core, writes),
+            LookupStage(core),
+            VerifierGateStage(core),
+            AdoptionStage(core),
+            FetchStage(core),
+            DegradationStage(core),
+            AdmissionStage(core),
+        ]
+
+    def read(self, reference: "DocumentReference") -> CacheReadOutcome:
+        """Application read: run the stages to a ``CacheReadOutcome``."""
+        return self._run(reference, for_fill=False)
+
+    def read_for_fill(self, reference: "DocumentReference"):
+        """Lower-level serve: run the stages to ``(content, meta)``."""
+        return self._run(reference, for_fill=True)
+
+    def _run(self, reference: "DocumentReference", for_fill: bool):
+        ctx = ReadContext(
+            reference=reference,
+            key=EntryKey.for_reference(reference),
+            started_ms=self.core.ctx.clock.now_ms,
+            for_fill=for_fill,
+        )
+        for stage in self.stages:
+            result = stage.run(ctx)
+            if result is not None:
+                return result
+        raise CacheError(
+            "read pipeline ended without a terminal stage result"
+        )  # pragma: no cover - AdmissionStage always terminates
+
+
+# -- write stages --------------------------------------------------------------
+
+
+class InterposeStage:
+    """Route the write: straight through (invalidating locally) or into
+    the buffer stage, paying only the local hop now."""
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: WriteContext):
+        core = self.core
+        if core.write_mode is WriteMode.WRITE_THROUGH:
+            core.kernel.write(ctx.reference, ctx.content)
+            core.emit("write", "write-through", key=ctx.key)
+            core.invalidate_local(ctx.key, InvalidationReason.LOCAL_WRITE)
+            return True
+        # Write-back: buffer locally; only the local hop is paid now.
+        for hop in core.topology.hit_path():
+            core.ctx.charge_hop(hop, len(ctx.content))
+        return None
+
+
+class BufferStage:
+    """Write-back terminal: buffer dirty bytes, supersede the read entry,
+    forward WRITE_FORWARDED to interested properties."""
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: WriteContext):
+        core = self.core
+        core.dirty[ctx.key] = (ctx.reference, bytes(ctx.content))
+        # The cached read entry (if any) no longer reflects what this
+        # user would read — their buffered write supersedes it.
+        core.invalidate_local(ctx.key, InvalidationReason.LOCAL_WRITE)
+        core.emit("write", "write-back", key=ctx.key)
+        core.forward_write(ctx.reference, len(ctx.content))
+        return True
+
+
+class FlushStage:
+    """Push one buffered write-back through the full write path.
+
+    Runs under the retry policy, if one is configured.  A flush that
+    still fails keeps the dirty buffer (the write is not lost; a later
+    flush can retry) and re-raises.
+    """
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def flush(self, reference: "DocumentReference") -> bool:
+        core = self.core
+        key = EntryKey.for_reference(reference)
+        buffered = core.dirty.pop(key, None)
+        if buffered is None:
+            return False
+        dirty_reference, content = buffered
+        try:
+            if core.retry_policy is None:
+                core.kernel.write(dirty_reference, content)
+            else:
+                core.retry_policy.call(
+                    core.ctx,
+                    lambda: core.kernel.write(dirty_reference, content),
+                    on_retry=core.count_retry,
+                )
+        except Exception:
+            core.dirty[key] = buffered
+            core.emit("flush", "failed", key=key)
+            raise
+        core.emit("flush", "flushed", key=key)
+        return True
+
+
+class WritePipeline:
+    """Runs the write stages; owns the flush stage for drains too."""
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+        self.stages = [InterposeStage(core), BufferStage(core)]
+        self._flush_stage = FlushStage(core)
+
+    def write(self, reference: "DocumentReference", content: bytes) -> float:
+        """Write through (or into) the cache; returns elapsed virtual ms."""
+        ctx = WriteContext(
+            reference=reference,
+            key=EntryKey.for_reference(reference),
+            content=content,
+            started_ms=self.core.ctx.clock.now_ms,
+        )
+        for stage in self.stages:
+            if stage.run(ctx):
+                break
+        return self.core.ctx.clock.now_ms - ctx.started_ms
+
+    def flush(self, reference: "DocumentReference") -> bool:
+        """Flush one buffered write-back (False when nothing is dirty)."""
+        return self._flush_stage.flush(reference)
+
+    def flush_all(self) -> int:
+        """Flush every buffered write-back; returns how many flushed."""
+        flushed = 0
+        for key in list(self.core.dirty):
+            dirty_reference, _ = self.core.dirty[key]
+            if self.flush(dirty_reference):
+                flushed += 1
+        return flushed

@@ -1,0 +1,188 @@
+"""Pluggable cache policies, extracted from the manager monolith.
+
+Three cross-cutting decisions used to be inlined in ``DocumentCache``;
+each now sits behind a small protocol so alternatives can be swapped in
+without touching the pipeline:
+
+* :class:`AdmissionPolicy` — should fetched content enter the cache?
+  The default (:class:`VoteAdmissionPolicy`) reproduces §3's behaviour:
+  honour the read path's most-restrictive cacheability vote, refuse
+  content larger than the whole cache.
+* :class:`DegradationPolicy` — how far may the cache degrade when the
+  world misbehaves?  Owns the serve-stale bounds, the
+  bypass-failed-backing switch and the verifier-quarantine bookkeeping
+  that PR 1 introduced (thresholds, per-(document, verifier-type)
+  failure streaks).
+* :class:`~repro.cache.replacement.ReplacementPolicy` — who leaves when
+  space runs out; unchanged, re-exported here so the three policy seams
+  share one import surface.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from typing import Protocol, runtime_checkable
+
+from repro.cache.replacement import GreedyDualSizePolicy, ReplacementPolicy
+from repro.errors import CacheError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.entry import CacheEntry
+    from repro.ids import DocumentId
+    from repro.placeless.document import PathMeta
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "VoteAdmissionPolicy",
+    "DegradationPolicy",
+    "DefaultDegradationPolicy",
+    "ReplacementPolicy",
+    "GreedyDualSizePolicy",
+]
+
+
+class AdmissionDecision(enum.Enum):
+    """What the admission policy decided about fetched content."""
+
+    ADMIT = "admit"
+    UNCACHEABLE = "uncacheable"
+    OVERSIZE = "oversize"
+
+
+@runtime_checkable
+class AdmissionPolicy(Protocol):
+    """Decides whether fetched content may fill the cache."""
+
+    def decide(
+        self, content: bytes, meta: "PathMeta", capacity_bytes: int
+    ) -> AdmissionDecision:
+        """Classify one fill candidate."""
+        ...  # pragma: no cover - protocol
+
+
+class VoteAdmissionPolicy:
+    """§3 behaviour: the cacheability vote gates, whole-cache size caps."""
+
+    def decide(
+        self, content: bytes, meta: "PathMeta", capacity_bytes: int
+    ) -> AdmissionDecision:
+        if not meta.cacheability.allows_caching:
+            return AdmissionDecision.UNCACHEABLE
+        if len(content) > capacity_bytes:
+            return AdmissionDecision.OVERSIZE
+        return AdmissionDecision.ADMIT
+
+
+@runtime_checkable
+class DegradationPolicy(Protocol):
+    """How far the cache may degrade while failures are in progress."""
+
+    serve_stale_on_error: bool
+    stale_serve_max_age_ms: float | None
+    bypass_backing_on_error: bool
+
+    def stale_age_acceptable(self, age_ms: float) -> bool:
+        """May stale bytes of this age be served on fetch failure?"""
+        ...  # pragma: no cover - protocol
+
+    def note_verifier_failure(self, key: tuple["DocumentId", str]) -> bool:
+        """Record one verifier raise; True when this newly quarantines."""
+        ...  # pragma: no cover - protocol
+
+    def note_verifier_success(self, key: tuple["DocumentId", str]) -> None:
+        """A verifier ran clean; reset its failure streak."""
+        ...  # pragma: no cover - protocol
+
+    def is_quarantined(self, key: tuple["DocumentId", str]) -> bool:
+        """Is this (document, verifier type) currently quarantined?"""
+        ...  # pragma: no cover - protocol
+
+    def quarantined_keys(self) -> set[tuple["DocumentId", str]]:
+        """All currently quarantined (document, verifier type) pairs."""
+        ...  # pragma: no cover - protocol
+
+    def lift_quarantines(self) -> int:
+        """Clear all quarantines and streaks; returns how many lifted."""
+        ...  # pragma: no cover - protocol
+
+
+class DefaultDegradationPolicy:
+    """The PR-1 degradation cascade, now in one swappable object.
+
+    Parameters mirror the former ``DocumentCache`` keyword arguments:
+    ``serve_stale_on_error`` / ``stale_serve_max_age_ms`` bound the
+    availability-over-freshness fallback, ``bypass_backing_on_error``
+    lets misses route past a failed second level, and
+    ``verifier_quarantine_threshold`` disables a repeatedly-raising
+    verifier after that many consecutive failures.
+    """
+
+    def __init__(
+        self,
+        serve_stale_on_error: bool = False,
+        stale_serve_max_age_ms: float | None = None,
+        bypass_backing_on_error: bool = False,
+        verifier_quarantine_threshold: int | None = None,
+    ) -> None:
+        if stale_serve_max_age_ms is not None and stale_serve_max_age_ms < 0:
+            raise CacheError(
+                "stale_serve_max_age_ms must be non-negative: "
+                f"{stale_serve_max_age_ms}"
+            )
+        if (
+            verifier_quarantine_threshold is not None
+            and verifier_quarantine_threshold < 1
+        ):
+            raise CacheError(
+                "verifier_quarantine_threshold must be >= 1: "
+                f"{verifier_quarantine_threshold}"
+            )
+        self.serve_stale_on_error = serve_stale_on_error
+        self.stale_serve_max_age_ms = stale_serve_max_age_ms
+        self.bypass_backing_on_error = bypass_backing_on_error
+        self.verifier_quarantine_threshold = verifier_quarantine_threshold
+        #: Consecutive raise-failures per (document, verifier type), and
+        #: the keys currently quarantined.
+        self._failures: dict[tuple["DocumentId", str], int] = {}
+        self._quarantined: set[tuple["DocumentId", str]] = set()
+
+    # -- serve-stale bounds ----------------------------------------------------
+
+    def stale_age_acceptable(self, age_ms: float) -> bool:
+        if self.stale_serve_max_age_ms is None:
+            return True
+        return age_ms <= self.stale_serve_max_age_ms
+
+    # -- verifier quarantine ---------------------------------------------------
+
+    def note_verifier_failure(self, key: tuple["DocumentId", str]) -> bool:
+        if self.verifier_quarantine_threshold is None:
+            return False
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        if (
+            count >= self.verifier_quarantine_threshold
+            and key not in self._quarantined
+        ):
+            self._quarantined.add(key)
+            return True
+        return False
+
+    def note_verifier_success(self, key: tuple["DocumentId", str]) -> None:
+        if self.verifier_quarantine_threshold is None:
+            return
+        self._failures.pop(key, None)
+
+    def is_quarantined(self, key: tuple["DocumentId", str]) -> bool:
+        return key in self._quarantined
+
+    def quarantined_keys(self) -> set[tuple["DocumentId", str]]:
+        return set(self._quarantined)
+
+    def lift_quarantines(self) -> int:
+        lifted = len(self._quarantined)
+        self._quarantined.clear()
+        self._failures.clear()
+        return lifted

@@ -20,6 +20,11 @@ Greedy-Dual (cost-aware but size-blind) and RANDOM.
 
 All heap-backed policies use lazy deletion: each (re)insertion stamps the
 entry; stale heap items are skipped at pop time.
+
+Replacement is one of the cache's three pluggable policy seams (with
+admission and degradation); :mod:`repro.cache.policies` re-exports
+:class:`ReplacementPolicy` so the seams share one import surface, and
+``CacheCore.evict_to_capacity`` is the sole call site.
 """
 
 from __future__ import annotations

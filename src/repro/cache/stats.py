@@ -7,6 +7,14 @@ counts and latencies, verifier executions and their total cost, notifier
 deliveries (server load), invalidations attributed per reason, and
 staleness (hits that served out-of-date bytes, measurable only in
 simulation where ground truth is known).
+
+Since the pipeline refactor these counters are no longer mutated inline
+by the cache: every stage emits structured
+:class:`~repro.cache.instrumentation.StageEvent` records, and a
+:class:`~repro.cache.instrumentation.StatsProjection` subscribed to the
+cache's instrumentation bus derives the counters from the event stream.
+The dataclass itself is unchanged, so everything that reads
+``cache.stats`` keeps working.
 """
 
 from __future__ import annotations

@@ -19,6 +19,11 @@ The paper's examples are all represented:
   needed" — :class:`ThresholdVerifier`, which can *revalidate* by patching
   the cached content in place.
 
+In the staged pipeline, verifiers run inside the read pipeline's
+``VerifierGateStage`` (on every hit, behind the quarantine gate) and in
+the adoption stage's freshness probe; each execution is charged to the
+virtual clock and emitted as a ``verifier`` stage event.
+
 Each verifier carries an execution cost in virtual milliseconds; the
 cache charges it on every hit, which is exactly the trade-off §3 flags:
 "verifier execution trades-off cache consistency with cache access time

@@ -10,6 +10,11 @@ The context also carries the run's optional
 one pick up the process-wide default scenario (installed by the CLI's
 ``--faults`` flag), so fault injection can infiltrate experiments that
 build their own contexts without any plumbing changes.
+
+The clock is also the sole time source for the cache's instrumentation:
+pipeline stages stamp their :class:`~repro.cache.instrumentation.StageEvent`
+records from ``ctx.now_ms``, so stage-latency breakdowns are virtual
+milliseconds and never perturb simulated time.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.cache.instrumentation import StageRecorder
 from repro.cache.manager import DocumentCache
 from repro.errors import ProviderError, WorkloadError
 from repro.placeless.kernel import PlacelessKernel
@@ -136,6 +137,22 @@ class TraceRunner:
     def external_value(self, document_index: int) -> int:
         """Current external value for a document (0 before any change)."""
         return self.externals.get(document_index, 0)
+
+    def stage_breakdown(self) -> StageRecorder:
+        """Fleet-wide per-stage outcome/latency breakdown.
+
+        Merges every distinct cache's :class:`StageRecorder` (a shared
+        cache is counted once), so a trace run can report which pipeline
+        stages its reads hit and what each outcome cost in virtual time.
+        """
+        merged = StageRecorder()
+        seen: set[int] = set()
+        for cache in self._caches:
+            if cache is None or id(cache) in seen:
+                continue
+            seen.add(id(cache))
+            merged.merge(cache.stage_breakdown())
+        return merged
 
     def _writer_reference(self, document_index: int) -> DocumentReference:
         if self._writer is None:
