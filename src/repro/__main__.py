@@ -2,9 +2,11 @@
 
 Commands
 --------
-``bench [EXPERIMENT] [--faults]``
-    Run one experiment (``table1``, ``a1`` … ``a12``) or all of them;
-    ``--faults`` runs it under the standard chaos fault scenario.
+``bench [EXPERIMENT] [--faults [SCENARIO]]``
+    Run one experiment (``table1``, ``a1`` … ``a13``) or all of them;
+    ``--faults`` runs it under a named chaos fault scenario
+    (``standard`` when the name is omitted, or ``partition`` /
+    ``crash`` to add a bus blackout or a mid-run cache crash).
 ``demo``
     Run the quickstart scenario inline (no file needed).
 ``info``
@@ -33,22 +35,28 @@ _EXPERIMENT_MODULES = {
     "a11": "repro.bench.writes",
     "a12": "repro.bench.faults",
     "faults": "repro.bench.faults",
+    "a13": "repro.bench.recovery",
+    "recovery": "repro.bench.recovery",
 }
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     import importlib
 
-    if getattr(args, "faults", False):
-        # Every SimContext built from here on carries the standard chaos
-        # scenario (lossy/delayed notifiers, flaky verifiers): faults the
-        # caches absorb, so fault-unaware experiments still complete.
+    scenario_name = getattr(args, "faults", None)
+    if scenario_name is not None:
+        # Every SimContext built from here on carries the named chaos
+        # scenario: "standard" injects only absorbable faults
+        # (lossy/delayed notifiers, flaky verifiers) so fault-unaware
+        # experiments still complete; "partition" adds an invalidation-
+        # bus blackout window and "crash" a mid-run cache crash/restart,
+        # the two failure modes the consistency-recovery layer repairs.
         from repro.faults import (
+            NAMED_CHAOS_SCENARIOS,
             set_default_fault_scenario,
-            standard_chaos_scenario,
         )
 
-        set_default_fault_scenario(standard_chaos_scenario)
+        set_default_fault_scenario(NAMED_CHAOS_SCENARIOS[scenario_name])
     try:
         if args.experiment == "all":
             from repro.bench.__main__ import main as run_all
@@ -66,7 +74,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         importlib.import_module(module_name).main()
         return 0
     finally:
-        if getattr(args, "faults", False):
+        if scenario_name is not None:
             from repro.faults import clear_default_fault_scenario
 
             clear_default_fault_scenario()
@@ -120,8 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
             "a10 external dependencies, a11 write modes, "
             "a12 availability under injected faults (alias: faults; "
             "includes the per-stage pipeline breakdown and a "
-            "reproducibility check).  Examples: "
+            "reproducibility check), a13 consistency recovery — "
+            "staleness and recovery latency under notification loss, "
+            "partitions and crashes (alias: recovery).  Examples: "
             "'repro bench a12', 'repro bench a1 --faults', "
+            "'repro bench a13', 'repro bench table1 --faults partition', "
             "'repro bench --faults' (all experiments under chaos)."
         ),
     )
@@ -140,14 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a12, faults (alias for a12), or all (default)",
+        help="table1, a1..a13, faults (alias for a12), recovery (alias "
+        "for a13), or all (default)",
     )
     bench.add_argument(
-        "--faults", action="store_true",
-        help="inject the standard chaos fault scenario (lossy/delayed "
-        "notifier bus, flaky verifiers) into every simulation context "
-        "built while the experiment runs; caches absorb the faults via "
-        "retries, bounded stale serves and verifier quarantine",
+        "--faults", nargs="?", const="standard", default=None,
+        choices=("standard", "partition", "crash"), metavar="SCENARIO",
+        help="inject a named chaos fault scenario into every simulation "
+        "context built while the experiment runs.  'standard' (the "
+        "default when the name is omitted): lossy/delayed notifier bus "
+        "and flaky verifiers, absorbed via retries, bounded stale "
+        "serves and verifier quarantine.  'partition': standard plus an "
+        "invalidation-bus blackout window (drops notifications, blocks "
+        "lease renewals).  'crash': standard plus a mid-run cache "
+        "crash/restart (write-back journals replay unflushed writes; "
+        "caches without one lose them)",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -12,6 +12,7 @@ from repro.bench import (
     notifier_verifier,
     placement,
     qos,
+    recovery,
     replacement,
     sharing,
     table1,
@@ -32,6 +33,7 @@ _EXPERIMENTS = (
     ("A10 external-dependency placement", external),
     ("A11 write modes", writes),
     ("A12 fault injection", faults),
+    ("A13 consistency recovery", recovery),
 )
 
 

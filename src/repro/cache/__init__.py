@@ -40,8 +40,16 @@ from repro.cache.policies import (
     AdmissionDecision,
     AdmissionPolicy,
     DefaultDegradationPolicy,
+    DefaultRecoveryPolicy,
     DegradationPolicy,
+    RecoveryPolicy,
     VoteAdmissionPolicy,
+)
+from repro.cache.recovery import (
+    ConsistencyRecoveryManager,
+    NotifierLease,
+    RecoveryStats,
+    WriteBackJournal,
 )
 from repro.cache.replacement import (
     FIFOPolicy,
@@ -90,6 +98,12 @@ __all__ = [
     "VoteAdmissionPolicy",
     "DegradationPolicy",
     "DefaultDegradationPolicy",
+    "RecoveryPolicy",
+    "DefaultRecoveryPolicy",
+    "ConsistencyRecoveryManager",
+    "NotifierLease",
+    "RecoveryStats",
+    "WriteBackJournal",
     "InvalidationBus",
     "NotifierProperty",
     "install_minimum_notifiers",

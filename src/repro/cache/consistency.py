@@ -94,8 +94,16 @@ class Invalidation:
     user_id: UserId | None = None
     at_ms: float = 0.0
     #: "notifier" (pushed by a notifier property), "verifier" (caught on
-    #: a hit), or "internal" (bookkeeping).
+    #: a hit), "resync" (anti-entropy repair), or "internal"
+    #: (bookkeeping).
     origin: str = "internal"
+    #: Channel epoch/sequence stamped by a sequencing
+    #: :class:`~repro.cache.notifiers.InvalidationBus` channel; ``None``
+    #: on unsequenced deliveries (sequencing is opt-in per cache).  The
+    #: receiver uses these for gap detection: a jump in ``sequence``
+    #: within one ``epoch`` proves a notification was lost in transit.
+    epoch: int | None = None
+    sequence: int | None = None
 
     @property
     def invalidation_class(self) -> InvalidationClass:

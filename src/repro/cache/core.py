@@ -30,6 +30,7 @@ from repro.events.types import EventType
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.manager import DocumentCache, WriteMode
     from repro.cache.policies import AdmissionPolicy, DegradationPolicy
+    from repro.cache.recovery import ConsistencyRecoveryManager
     from repro.cache.replacement import ReplacementPolicy
     from repro.faults.retry import RetryPolicy
     from repro.ids import CacheId, DocumentId
@@ -98,6 +99,10 @@ class CacheCore:
         self.store = ContentStore()
         self.entries: dict[EntryKey, CacheEntry] = {}
         self.dirty: dict[EntryKey, tuple["DocumentReference", bytes]] = {}
+        #: The consistency-recovery coordinator, installed by the manager
+        #: when a recovery policy is configured; ``None`` (the default)
+        #: leaves every pipeline seam recovery-free and byte-identical.
+        self.recovery: "ConsistencyRecoveryManager | None" = None
 
     # -- instrumentation -----------------------------------------------------
 
@@ -192,6 +197,8 @@ class CacheCore:
                 reference, self.bus, self.cache_id
             )
             self.ctx.charge(NOTIFIER_INSTALL_COST_MS * len(installed))
+        if self.recovery is not None:
+            self.recovery.note_reference(key, reference)
         return entry
 
     def evict_to_capacity(self, protect: EntryKey | None = None) -> None:

@@ -64,6 +64,11 @@ STAGE_ORDER = (
     "staleness",
     "bus",
     "bus-loss",
+    "channel",
+    "lease",
+    "resync",
+    "journal",
+    "crash",
 )
 
 

@@ -41,10 +41,12 @@ from repro.cache.policies import (
     DefaultDegradationPolicy,
     DegradationPolicy,
     GreedyDualSizePolicy,
+    RecoveryPolicy,
     ReplacementPolicy,
     VoteAdmissionPolicy,
 )
-from repro.errors import CacheCapacityError
+from repro.cache.recovery import ConsistencyRecoveryManager, RecoveryStats
+from repro.errors import CacheCapacityError, CacheError
 from repro.ids import DocumentId, UserId
 from repro.sim.topology import CachePlacement, Topology
 
@@ -117,6 +119,14 @@ class DocumentCache:
         stage events are emitted on; a private one is created if not
         supplied.  Pass a shared bus to aggregate several caches onto
         one subscriber.
+    recovery_policy:
+        Opt-in consistency recovery
+        (:class:`~repro.cache.policies.RecoveryPolicy`, e.g.
+        :class:`~repro.cache.policies.DefaultRecoveryPolicy`): a leased,
+        sequenced notifier channel with gap detection and anti-entropy
+        resync, plus a crash-recovery write-back journal.  ``None`` (the
+        default) keeps the cache byte-identical to its pre-recovery
+        behaviour.
     """
 
     def __init__(
@@ -141,6 +151,7 @@ class DocumentCache:
         admission_policy: AdmissionPolicy | None = None,
         degradation_policy: DegradationPolicy | None = None,
         instrumentation: InstrumentationBus | None = None,
+        recovery_policy: RecoveryPolicy | None = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise CacheCapacityError(
@@ -185,7 +196,23 @@ class DocumentCache:
         self._reads = ReadPipeline(self._core, self._writes)
         self._prefetch_queue: list["DocumentReference"] = []
         self._draining_prefetch = False
-        self.bus.register(self.cache_id, self.apply_invalidation)
+        self._recovery: ConsistencyRecoveryManager | None = None
+        if recovery_policy is not None:
+            self._recovery = ConsistencyRecoveryManager(
+                self._core, recovery_policy, self.apply_invalidation
+            )
+            self._core.recovery = self._recovery
+            self.bus.register(self.cache_id, self._recovery.receive)
+        else:
+            self.bus.register(self.cache_id, self.apply_invalidation)
+        # Scheduled crash instants apply to every cache on the faulted
+        # context, journalled or not — the unjournalled one simply loses
+        # its unflushed writes, which is the A13 contrast.
+        plan = ctx.faults
+        if plan is not None:
+            for instant in plan.cache_crashes:
+                if instant >= ctx.clock.now_ms:
+                    ctx.clock.call_at(instant, self._crash_and_restart)
 
     # -- wiring access -------------------------------------------------------
 
@@ -376,6 +403,69 @@ class DocumentCache:
     def dirty_count(self) -> int:
         """Buffered (unflushed) write-backs."""
         return len(self._core.dirty)
+
+    # -- consistency recovery --------------------------------------------------
+
+    @property
+    def recovery(self) -> ConsistencyRecoveryManager | None:
+        """The recovery coordinator, when a recovery policy is set."""
+        return self._recovery
+
+    @property
+    def recovery_stats(self) -> RecoveryStats | None:
+        """Recovery-layer counters (``None`` without a recovery policy)."""
+        return self._recovery.stats if self._recovery is not None else None
+
+    def resync(self) -> int:
+        """Force one anti-entropy resync; returns entries repaired.
+
+        Requires a recovery policy (the resync needs the channel/lease
+        machinery to reset afterwards).
+        """
+        if self._recovery is None:
+            raise CacheError(
+                "resync requires a recovery_policy on this cache"
+            )
+        return self._recovery.resync()
+
+    def crash(self) -> None:
+        """Simulate a cache-process crash: volatile state vanishes.
+
+        The entry table, content store references and dirty write-back
+        buffer are discarded without invalidation traffic (the process
+        died; nothing ran).  The write-back journal — stable storage —
+        survives for :meth:`restart` to replay.
+        """
+        core = self._core
+        core.emit(
+            "crash", "crashed",
+            entries=len(core.entries), dirty=len(core.dirty),
+        )
+        for entry in list(core.entries.values()):
+            core.remove_entry(entry)
+        core.dirty.clear()
+        self._prefetch_queue.clear()
+        if self._recovery is not None:
+            self._recovery.on_crash()
+
+    def restart(self) -> int:
+        """Recover after :meth:`crash`; returns replayed dirty writes.
+
+        With a journalling recovery policy the unflushed write-backs are
+        replayed into the dirty buffer (idempotently), the notifier
+        lease is re-granted and the channel resynced; without one the
+        restart comes back empty-handed.
+        """
+        replayed = 0
+        if self._recovery is not None:
+            replayed = self._recovery.on_restart()
+        self._core.emit("crash", "restarted", replayed=replayed)
+        return replayed
+
+    def _crash_and_restart(self) -> None:
+        """Clock callback for fault-plan scheduled crash instants."""
+        self.crash()
+        self.restart()
 
     # -- invalidation ------------------------------------------------------------
 

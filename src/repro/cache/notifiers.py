@@ -46,6 +46,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "InvalidationBus",
+    "ChannelState",
     "NotifierProperty",
     "install_minimum_notifiers",
     "DEFAULT_REASON_MAP",
@@ -77,6 +78,21 @@ class BusStats:
     delay_ms_total: float = 0.0
 
 
+@dataclass
+class ChannelState:
+    """Bus-side send state for one sequenced (server, cache) channel.
+
+    Every delivery *attempt* consumes a sequence number — including ones
+    fault injection subsequently drops — which is exactly what makes
+    receiver-side gap detection possible: the receiver sees the sequence
+    jump (or, for a trailing loss, learns the send-side high-water mark
+    at lease renewal) and knows something never arrived.
+    """
+
+    epoch: int = 1
+    next_sequence: int = 1
+
+
 class InvalidationBus:
     """Routes invalidations from notifier properties to registered caches.
 
@@ -106,6 +122,10 @@ class InvalidationBus:
         self.instrumentation.subscribe(BusStatsProjection(self.stats))
         self._sinks: dict[CacheId, Callable[[Invalidation], None]] = {}
         self._lost_documents: dict[object, int] = {}
+        #: Sequenced channels, keyed by cache id.  Sequencing is opt-in
+        #: (the recovery layer enables it); unsequenced caches see the
+        #: exact pre-recovery delivery behaviour.
+        self._channels: dict[CacheId, ChannelState] = {}
 
     def _emit(self, outcome: str, document_id=None, **payload) -> None:
         now = self.ctx.clock.now_ms
@@ -130,10 +150,65 @@ class InvalidationBus:
         """Remove a cache (e.g. it shut down); deliveries to it drop."""
         self._sinks.pop(cache_id, None)
 
+    # -- sequenced channels (consistency recovery) ----------------------------
+
+    def enable_sequencing(self, cache_id: CacheId) -> ChannelState:
+        """Stamp every future delivery to *cache_id* with (epoch, seq).
+
+        Idempotent: re-enabling returns the existing channel state (the
+        sequence survives a cache restart — that is what lets the
+        restarted cache detect what it missed while it was down).
+        """
+        channel = self._channels.get(cache_id)
+        if channel is None:
+            channel = self._channels[cache_id] = ChannelState()
+        return channel
+
+    def channel_checkpoint(self, cache_id: CacheId) -> tuple[int, int] | None:
+        """The send-side (epoch, next sequence) for a sequenced channel.
+
+        Piggybacked on lease renewals: a receiver whose expectation
+        trails the returned high-water mark has missed deliveries even
+        if no later delivery ever arrived to expose the gap inline.
+        """
+        channel = self._channels.get(cache_id)
+        if channel is None:
+            return None
+        return channel.epoch, channel.next_sequence
+
+    def bump_epoch(self, cache_id: CacheId) -> tuple[int, int]:
+        """Start a fresh epoch after a resync; returns (epoch, next seq).
+
+        The resync reconciled every entry against server state, so prior
+        losses are water under the bridge; the sequence restarts at 1.
+        """
+        channel = self.enable_sequencing(cache_id)
+        channel.epoch += 1
+        channel.next_sequence = 1
+        return channel.epoch, channel.next_sequence
+
     def deliver(self, cache_id: CacheId, invalidation: Invalidation) -> None:
         """Deliver one invalidation, charging the notifier network path."""
+        channel = self._channels.get(cache_id)
+        if channel is not None:
+            invalidation.epoch = channel.epoch
+            invalidation.sequence = channel.next_sequence
+            channel.next_sequence += 1
         plan = self.ctx.faults
         if plan is not None:
+            if plan.check_bus_delivery(str(cache_id)):
+                # Partition blackout: the delivery dies on the floor.
+                self._emit(
+                    "lost",
+                    document_id=invalidation.document_id,
+                    partition=True,
+                )
+                if invalidation.document_id is not None:
+                    self._lost_documents[invalidation.document_id] = (
+                        self._lost_documents.get(invalidation.document_id, 0)
+                        + 1
+                    )
+                return
             action, delay_ms = plan.notifier_disposition(str(cache_id))
             if action == "drop":
                 self._emit("lost", document_id=invalidation.document_id)

@@ -586,6 +586,12 @@ class BufferStage:
     def run(self, ctx: WriteContext):
         core = self.core
         core.dirty[ctx.key] = (ctx.reference, bytes(ctx.content))
+        if core.recovery is not None:
+            # Journal before acknowledging: once write() returns, a
+            # crash must not be able to lose these bytes.
+            core.recovery.journal_append(
+                ctx.key, ctx.reference, ctx.content
+            )
         # The cached read entry (if any) no longer reflects what this
         # user would read — their buffered write supersedes it.
         core.invalidate_local(ctx.key, InvalidationReason.LOCAL_WRITE)
@@ -626,6 +632,8 @@ class FlushStage:
             core.emit("flush", "failed", key=key)
             raise
         core.emit("flush", "flushed", key=key)
+        if core.recovery is not None:
+            core.recovery.journal_mark_flushed(key)
         return True
 
 

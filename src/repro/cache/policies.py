@@ -38,6 +38,8 @@ __all__ = [
     "VoteAdmissionPolicy",
     "DegradationPolicy",
     "DefaultDegradationPolicy",
+    "RecoveryPolicy",
+    "DefaultRecoveryPolicy",
     "ReplacementPolicy",
     "GreedyDualSizePolicy",
 ]
@@ -106,6 +108,62 @@ class DegradationPolicy(Protocol):
     def lift_quarantines(self) -> int:
         """Clear all quarantines and streaks; returns how many lifted."""
         ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class RecoveryPolicy(Protocol):
+    """Configuration seam for the consistency-recovery layer.
+
+    A cache constructed with a recovery policy gets a leased, sequenced
+    notifier channel (gap detection + anti-entropy resync) and — for
+    write-back caches — a crash-recovery journal.  ``None`` (the
+    default) leaves every recovery mechanism off and the cache
+    byte-identical to its pre-recovery behaviour.
+    """
+
+    #: Lease term on the notifier registration; renewals run at half the
+    #: term on the virtual clock, so a suspect or lapsed channel is
+    #: resynced within one term (the bounded-staleness guarantee).
+    lease_term_ms: float
+    #: Stamp (epoch, sequence) on deliveries and detect gaps.
+    sequence_invalidations: bool
+    #: Journal buffered write-backs so a crash/restart replays them.
+    journal_writes: bool
+
+    def resync_due(self, *, suspect: bool, lapsed: bool) -> bool:
+        """Should this renewal tick trigger an anti-entropy resync?"""
+        ...  # pragma: no cover - protocol
+
+
+class DefaultRecoveryPolicy:
+    """Everything on: leases + sequencing + journal, resync when needed.
+
+    Parameters
+    ----------
+    lease_term_ms:
+        The notifier-registration lease term (renewed at half-term).
+    sequence_invalidations, journal_writes:
+        Individually disable gap detection or the write-back journal
+        (both on by default) for ablations.
+    """
+
+    def __init__(
+        self,
+        lease_term_ms: float = 2_000.0,
+        sequence_invalidations: bool = True,
+        journal_writes: bool = True,
+    ) -> None:
+        if lease_term_ms <= 0:
+            raise CacheError(
+                f"lease_term_ms must be positive: {lease_term_ms}"
+            )
+        self.lease_term_ms = lease_term_ms
+        self.sequence_invalidations = sequence_invalidations
+        self.journal_writes = journal_writes
+
+    def resync_due(self, *, suspect: bool, lapsed: bool) -> bool:
+        """Resync whenever the channel is suspect or the lease lapsed."""
+        return suspect or lapsed
 
 
 class DefaultDegradationPolicy:

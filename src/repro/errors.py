@@ -31,6 +31,8 @@ __all__ = [
     "CacheCapacityError",
     "VerifierError",
     "NotifierError",
+    "NotificationLostError",
+    "LeaseExpiredError",
     "PermissionDeniedError",
     "NFSError",
     "BadFileHandleError",
@@ -126,6 +128,28 @@ class VerifierError(CacheError):
 
 class NotifierError(CacheError):
     """A notifier could not deliver an invalidation."""
+
+
+class NotificationLostError(NotifierError):
+    """The invalidation channel lost at least one notification.
+
+    Raised at the bus seam when receiver-side gap detection (sequence
+    numbers on a leased channel) proves that a pushed invalidation never
+    arrived — the paper's lost-callback problem made *detectable*.  The
+    recovery layer converts it into an anti-entropy resync rather than
+    letting the cache serve stale transformed content forever.
+    """
+
+
+class LeaseExpiredError(CacheError):
+    """A notifier-channel lease lapsed before it was renewed.
+
+    Raised at the lease seam when the cache could not renew its
+    registration within the lease term (e.g. a network partition blocked
+    the renewal).  A lapsed lease means pushed invalidations can no
+    longer be trusted to have arrived; the holder must resync against
+    server state before trusting its entries again.
+    """
 
 
 class PermissionDeniedError(PlacelessError):

@@ -29,9 +29,14 @@ from repro.faults.plan import (
 )
 from repro.faults.retry import RetryPolicy
 from repro.faults.scenarios import (
+    NAMED_CHAOS_SCENARIOS,
+    cache_crash_scenario,
+    crash_chaos_scenario,
     flaky_fetch_scenario,
     lossy_bus_scenario,
     outage_scenario,
+    partition_chaos_scenario,
+    partition_scenario,
     standard_chaos_scenario,
 )
 
@@ -47,5 +52,10 @@ __all__ = [
     "outage_scenario",
     "lossy_bus_scenario",
     "flaky_fetch_scenario",
+    "partition_scenario",
+    "cache_crash_scenario",
     "standard_chaos_scenario",
+    "partition_chaos_scenario",
+    "crash_chaos_scenario",
+    "NAMED_CHAOS_SCENARIOS",
 ]

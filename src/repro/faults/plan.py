@@ -108,6 +108,10 @@ class FaultStats:
     store_offline: int = 0
     notifications_lost: int = 0
     notifications_delayed: int = 0
+    #: Deliveries swallowed by a scheduled bus partition window (counted
+    #: separately from probabilistic losses so experiments can tell a
+    #: blackout apart from background lossiness).
+    notifications_partition_dropped: int = 0
     verifier_failures: int = 0
     verifier_timeouts: int = 0
     link_outages: int = 0
@@ -118,6 +122,7 @@ class FaultStats:
         return (
             self.fetch_unavailable + self.fetch_offline + self.store_offline
             + self.notifications_lost + self.notifications_delayed
+            + self.notifications_partition_dropped
             + self.verifier_failures + self.verifier_timeouts
             + self.link_outages
         )
@@ -163,6 +168,18 @@ class FaultPlan:
         Scheduled topology-link outage windows, keyed by hop name;
         crossing a downed hop raises
         :class:`~repro.errors.RepositoryOfflineError`.
+    bus_outages:
+        Scheduled *partition* windows on the invalidation bus: every
+        delivery attempted inside a window is silently dropped (the
+        blackout variant of the lost-callback problem) and lease
+        renewals are blocked, so leased channels lapse.  ``target``
+        narrows a window to one cache id.
+    cache_crashes:
+        Virtual instants at which every cache built on this plan's
+        context crashes and restarts, discarding its in-memory entry
+        table and dirty write-back buffer.  A cache with a write-back
+        journal replays unflushed writes on restart; one without loses
+        them — the contrast the A13 bench measures.
     """
 
     def __init__(
@@ -177,6 +194,8 @@ class FaultPlan:
         verifier_failure_probability: float = 0.0,
         verifier_timeout_budget_ms: float | None = None,
         link_outages: "Sequence[OutageWindow]" = (),
+        bus_outages: "Sequence[OutageWindow]" = (),
+        cache_crashes: "Sequence[float]" = (),
     ) -> None:
         self.clock = clock
         self.seed = seed
@@ -208,6 +227,13 @@ class FaultPlan:
             )
         self.verifier_timeout_budget_ms = verifier_timeout_budget_ms
         self.link_outages = tuple(link_outages)
+        self.bus_outages = tuple(bus_outages)
+        for instant in cache_crashes:
+            if instant < 0:
+                raise WorkloadError(
+                    f"cache_crashes instants must be non-negative: {instant}"
+                )
+        self.cache_crashes = tuple(sorted(cache_crashes))
         # One RNG stream per seam; string seeding is hash-salt-proof.
         self._rng_fetch = random.Random(f"{seed}:fetch")
         self._rng_bus = random.Random(f"{seed}:bus")
@@ -265,6 +291,30 @@ class FaultPlan:
                 )
 
     # -- invalidation-bus seam -----------------------------------------------
+
+    def bus_partitioned(self, target: str) -> bool:
+        """True while *target*'s bus channel is inside a partition window.
+
+        Pure window check — no RNG draw, no trace record — so lease
+        renewals can poll it without perturbing the per-delivery
+        disposition stream.
+        """
+        now = self.clock.now_ms
+        return any(window.covers(now, target) for window in self.bus_outages)
+
+    def check_bus_delivery(self, target: str) -> bool:
+        """Gate one bus delivery against partition windows.
+
+        Returns True (and records the injection) when the delivery must
+        be dropped because the channel is partitioned.  Consulted before
+        the probabilistic :meth:`notifier_disposition` draw, so runs
+        without partition windows keep byte-identical RNG streams.
+        """
+        if self.bus_partitioned(target):
+            self.stats.notifications_partition_dropped += 1
+            self._record("bus", "partition-drop", target)
+            return True
+        return False
 
     def notifier_disposition(self, target: str) -> tuple[str, float]:
         """Decide one bus delivery: ``("deliver"|"drop"|"delay", delay_ms)``."""

@@ -25,7 +25,12 @@ __all__ = [
     "outage_scenario",
     "lossy_bus_scenario",
     "flaky_fetch_scenario",
+    "partition_scenario",
+    "cache_crash_scenario",
     "standard_chaos_scenario",
+    "partition_chaos_scenario",
+    "crash_chaos_scenario",
+    "NAMED_CHAOS_SCENARIOS",
 ]
 
 
@@ -76,6 +81,43 @@ def flaky_fetch_scenario(
     )
 
 
+def partition_scenario(
+    clock: "VirtualClock",
+    start_ms: float = 5_000.0,
+    duration_ms: float = 3_000.0,
+    target: str | None = None,
+    seed: int = 0,
+) -> FaultPlan:
+    """One invalidation-bus partition window; everything else healthy.
+
+    Every notification attempted inside the window is silently dropped
+    and lease renewals are blocked — the channel blackout that the
+    consistency-recovery layer (gap detection + leases + anti-entropy
+    resync) exists to survive.
+    """
+    return FaultPlan(
+        clock,
+        seed=seed,
+        bus_outages=(
+            OutageWindow(start_ms, start_ms + duration_ms, target),
+        ),
+    )
+
+
+def cache_crash_scenario(
+    clock: "VirtualClock",
+    at_ms: float = 6_000.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """One scheduled cache crash/restart; everything else healthy.
+
+    Caches lose their entry tables and dirty write-back buffers at the
+    instant; a cache with a write-back journal replays unflushed writes
+    on restart, one without loses them.
+    """
+    return FaultPlan(clock, seed=seed, cache_crashes=(at_ms,))
+
+
 def standard_chaos_scenario(
     clock: "VirtualClock",
     seed: int = 0,
@@ -94,3 +136,48 @@ def standard_chaos_scenario(
         notifier_delay_ms=100.0,
         verifier_failure_probability=0.02,
     )
+
+
+def partition_chaos_scenario(
+    clock: "VirtualClock",
+    seed: int = 0,
+) -> FaultPlan:
+    """``--faults partition``: standard chaos plus a bus blackout.
+
+    The partition window sits where mid-trace notifications land for the
+    default experiment shapes, so lost invalidations (and lapsed leases,
+    for recovery-enabled caches) are actually exercised.
+    """
+    return FaultPlan(
+        clock,
+        seed=seed,
+        notifier_loss_probability=0.05,
+        notifier_delay_probability=0.10,
+        notifier_delay_ms=100.0,
+        verifier_failure_probability=0.02,
+        bus_outages=(OutageWindow(5_000.0, 9_000.0),),
+    )
+
+
+def crash_chaos_scenario(
+    clock: "VirtualClock",
+    seed: int = 0,
+) -> FaultPlan:
+    """``--faults crash``: standard chaos plus a mid-run cache crash."""
+    return FaultPlan(
+        clock,
+        seed=seed,
+        notifier_loss_probability=0.05,
+        notifier_delay_probability=0.10,
+        notifier_delay_ms=100.0,
+        verifier_failure_probability=0.02,
+        cache_crashes=(6_000.0,),
+    )
+
+
+#: Scenario names accepted by the CLI's ``--faults [NAME]`` flag.
+NAMED_CHAOS_SCENARIOS = {
+    "standard": standard_chaos_scenario,
+    "partition": partition_chaos_scenario,
+    "crash": crash_chaos_scenario,
+}

@@ -10,6 +10,8 @@ bookkeeping, audit completeness, and replica convergence.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cache.manager import DocumentCache
@@ -26,6 +28,10 @@ from repro.workload.runner import TraceRunner
 from repro.workload.trace import TraceSpec, generate_trace
 from repro.workload.users import build_population
 
+#: CI runs this tier across several seeds; locally it defaults to the
+#: historical seed 77 so golden expectations stay easy to reproduce.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "77"))
+
 
 @pytest.fixture(scope="module")
 def chaos_run():
@@ -33,10 +39,11 @@ def chaos_run():
     owner = kernel.create_user("owner")
     corpus = build_corpus(
         kernel, owner,
-        CorpusSpec(n_documents=10, ttl_ms=60_000.0, seed=77),
+        CorpusSpec(n_documents=10, ttl_ms=60_000.0, seed=CHAOS_SEED),
     )
     population = build_population(
-        kernel, corpus, n_users=3, personalized_fraction=0.4, seed=77
+        kernel, corpus, n_users=3, personalized_fraction=0.4,
+        seed=CHAOS_SEED,
     )
     # Extra machinery on some documents.
     replica_fs = SimulatedFileSystem(kernel.ctx.clock)
@@ -67,7 +74,7 @@ def chaos_run():
         p_property_change=0.04, p_property_reorder=0.02,
         p_external_change=0.02,
         mean_think_time_ms=120.0,
-        seed=77,
+        seed=CHAOS_SEED,
     )
     report = runner.execute(generate_trace(spec))
     return kernel, corpus, population, cache, report, {
@@ -205,7 +212,7 @@ def _run_faulted_chaos(seed: int, n_events: int = 300):
 
 @pytest.fixture(scope="module")
 def faulted_chaos_run():
-    return _run_faulted_chaos(seed=77)
+    return _run_faulted_chaos(seed=CHAOS_SEED)
 
 
 class TestFaultedChaosInvariants:
