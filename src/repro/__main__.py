@@ -3,10 +3,11 @@
 Commands
 --------
 ``bench [EXPERIMENT] [--faults [SCENARIO]]``
-    Run one experiment (``table1``, ``a1`` … ``a13``) or all of them;
+    Run one experiment (``table1``, ``a1`` … ``a14``) or all of them;
     ``--faults`` runs it under a named chaos fault scenario
-    (``standard`` when the name is omitted, or ``partition`` /
-    ``crash`` to add a bus blackout or a mid-run cache crash).
+    (``standard`` when the name is omitted, ``partition`` / ``crash``
+    to add a bus blackout or a mid-run cache crash, or ``misbehave``
+    to add raising/runaway/corrupting active-property code).
 ``demo``
     Run the quickstart scenario inline (no file needed).
 ``info``
@@ -37,6 +38,8 @@ _EXPERIMENT_MODULES = {
     "faults": "repro.bench.faults",
     "a13": "repro.bench.recovery",
     "recovery": "repro.bench.recovery",
+    "a14": "repro.bench.containment",
+    "containment": "repro.bench.containment",
 }
 
 
@@ -130,9 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
             "includes the per-stage pipeline breakdown and a "
             "reproducibility check), a13 consistency recovery — "
             "staleness and recovery latency under notification loss, "
-            "partitions and crashes (alias: recovery).  Examples: "
+            "partitions and crashes (alias: recovery), a14 containment "
+            "of misbehaving active-property code — availability and "
+            "latency with circuit breakers, budgets and firewalls "
+            "(alias: containment).  Examples: "
             "'repro bench a12', 'repro bench a1 --faults', "
-            "'repro bench a13', 'repro bench table1 --faults partition', "
+            "'repro bench a14', 'repro bench table1 --faults partition', "
             "'repro bench --faults' (all experiments under chaos)."
         ),
     )
@@ -151,12 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a13, faults (alias for a12), recovery (alias "
-        "for a13), or all (default)",
+        help="table1, a1..a14, faults (alias for a12), recovery (alias "
+        "for a13), containment (alias for a14), or all (default)",
     )
     bench.add_argument(
         "--faults", nargs="?", const="standard", default=None,
-        choices=("standard", "partition", "crash"), metavar="SCENARIO",
+        choices=("standard", "partition", "crash", "misbehave"),
+        metavar="SCENARIO",
         help="inject a named chaos fault scenario into every simulation "
         "context built while the experiment runs.  'standard' (the "
         "default when the name is omitted): lossy/delayed notifier bus "
@@ -165,7 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
         "invalidation-bus blackout window (drops notifications, blocks "
         "lease renewals).  'crash': standard plus a mid-run cache "
         "crash/restart (write-back journals replay unflushed writes; "
-        "caches without one lose them)",
+        "caches without one lose them).  'misbehave': standard plus "
+        "seed-deterministic property misbehaviour (raise / runaway "
+        "cost / corrupt output) at the stream-wrapper seam, the "
+        "faults the containment layer (circuit breakers, budgets, "
+        "firewalls) absorbs",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -6,6 +6,7 @@ from repro.bench import (
     cacheability,
     chains,
     collections,
+    containment,
     external,
     faults,
     invalidation,
@@ -34,6 +35,7 @@ _EXPERIMENTS = (
     ("A11 write modes", writes),
     ("A12 fault injection", faults),
     ("A13 consistency recovery", recovery),
+    ("A14 containment", containment),
 )
 
 

@@ -22,6 +22,15 @@ from repro.cache.consistency import (
     InvalidationClass,
     InvalidationReason,
 )
+from repro.cache.containment import (
+    BreakerConfig,
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+    ContainmentGuard,
+    ContainmentStats,
+    ExecutionBudget,
+)
 from repro.cache.entry import CacheEntry, EntryKey, key_for
 from repro.cache.instrumentation import (
     InstrumentationBus,
@@ -39,6 +48,8 @@ from repro.cache.pipeline import ReadPipeline, WritePipeline
 from repro.cache.policies import (
     AdmissionDecision,
     AdmissionPolicy,
+    ContainmentPolicy,
+    DefaultContainmentPolicy,
     DefaultDegradationPolicy,
     DefaultRecoveryPolicy,
     DegradationPolicy,
@@ -98,6 +109,15 @@ __all__ = [
     "VoteAdmissionPolicy",
     "DegradationPolicy",
     "DefaultDegradationPolicy",
+    "ContainmentPolicy",
+    "DefaultContainmentPolicy",
+    "ContainmentGuard",
+    "ContainmentStats",
+    "BreakerConfig",
+    "BreakerState",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "ExecutionBudget",
     "RecoveryPolicy",
     "DefaultRecoveryPolicy",
     "ConsistencyRecoveryManager",

@@ -28,6 +28,7 @@ from repro.errors import CacheError
 from repro.events.types import EventType
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.containment import ContainmentGuard
     from repro.cache.manager import DocumentCache, WriteMode
     from repro.cache.policies import AdmissionPolicy, DegradationPolicy
     from repro.cache.recovery import ConsistencyRecoveryManager
@@ -103,6 +104,11 @@ class CacheCore:
         #: when a recovery policy is configured; ``None`` (the default)
         #: leaves every pipeline seam recovery-free and byte-identical.
         self.recovery: "ConsistencyRecoveryManager | None" = None
+        #: The containment guard wrapped around property-code seams,
+        #: installed by the manager when a containment policy is
+        #: configured; ``None`` (the default) keeps every seam on the
+        #: historical unguarded path.
+        self.containment: "ContainmentGuard | None" = None
 
     # -- instrumentation -----------------------------------------------------
 

@@ -56,6 +56,7 @@ STAGE_ORDER = (
     "flush",
     "verifier",
     "quarantine",
+    "containment",
     "eviction",
     "invalidation",
     "notifier",

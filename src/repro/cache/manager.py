@@ -15,8 +15,10 @@ plus the public surface.
 from __future__ import annotations
 
 import typing
+import warnings
 
 from repro.cache.consistency import Invalidation, InvalidationReason
+from repro.cache.containment import ContainmentGuard, ContainmentStats
 from repro.cache.core import (  # noqa: F401  (constants re-exported for compat)
     ADOPTION_COST_MS,
     NOTIFIER_INSTALL_COST_MS,
@@ -38,6 +40,7 @@ from repro.cache.pipeline import (
 )
 from repro.cache.policies import (
     AdmissionPolicy,
+    ContainmentPolicy,
     DefaultDegradationPolicy,
     DegradationPolicy,
     GreedyDualSizePolicy,
@@ -127,6 +130,16 @@ class DocumentCache:
         resync, plus a crash-recovery write-back journal.  ``None`` (the
         default) keeps the cache byte-identical to its pre-recovery
         behaviour.
+    containment_policy:
+        Opt-in containment of misbehaving active-property code
+        (:class:`~repro.cache.policies.ContainmentPolicy`, e.g.
+        :class:`~repro.cache.policies.DefaultContainmentPolicy`):
+        per-(document, code-site) circuit breakers, per-invocation
+        execution budgets and exception firewalls around the stream
+        wrappers, verifier executions and notifier callbacks, with a
+        per-role fallback (skip / force-miss / deny) when a breaker is
+        open.  ``None`` (the default) keeps every property-code seam on
+        its historical unguarded path.
     """
 
     def __init__(
@@ -152,6 +165,7 @@ class DocumentCache:
         degradation_policy: DegradationPolicy | None = None,
         instrumentation: InstrumentationBus | None = None,
         recovery_policy: RecoveryPolicy | None = None,
+        containment_policy: ContainmentPolicy | None = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise CacheCapacityError(
@@ -196,6 +210,13 @@ class DocumentCache:
         self._reads = ReadPipeline(self._core, self._writes)
         self._prefetch_queue: list["DocumentReference"] = []
         self._draining_prefetch = False
+        self._containment: ContainmentGuard | None = None
+        if containment_policy is not None:
+            self._containment = ContainmentGuard(
+                containment_policy, ctx, self.instrumentation
+            )
+            self._core.containment = self._containment
+            ctx.containment = self._containment
         self._recovery: ConsistencyRecoveryManager | None = None
         if recovery_policy is not None:
             self._recovery = ConsistencyRecoveryManager(
@@ -374,16 +395,50 @@ class DocumentCache:
         finally:
             self._draining_prefetch = False
 
-    # -- verifier quarantine (graceful degradation) ---------------------------
+    # -- verifier quarantine (deprecated bridge over the breaker registry) ----
 
     def quarantined_verifier_keys(self) -> set[tuple[DocumentId, str]]:
-        """The (document, verifier type) pairs currently quarantined."""
-        return self._core.degradation.quarantined_keys()
+        """The (document, verifier type) pairs currently quarantined.
+
+        .. deprecated::
+            Quarantine is now a breaker configuration; inspect
+            ``cache.containment.verifiers.open_keys()`` (or the
+            degradation policy's ``breakers``) instead.
+        """
+        warnings.warn(
+            "quarantined_verifier_keys() is deprecated; verifier "
+            "quarantine is now a circuit-breaker configuration — use "
+            "the containment API (cache.containment.verifiers"
+            ".open_keys()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        keys = set(self._core.degradation.quarantined_keys())
+        if self._containment is not None:
+            keys |= self._containment.verifiers.open_keys()
+        return keys
 
     def lift_quarantines(self) -> int:
         """Re-enable every quarantined verifier (call once the underlying
-        fault is known repaired); returns how many were lifted."""
-        return self._core.degradation.lift_quarantines()
+        fault is known repaired); returns how many were lifted.
+
+        .. deprecated::
+            Quarantine is now a breaker configuration; reset the
+            breaker registry via ``cache.containment.verifiers
+            .reset_all()`` (or the degradation policy's ``breakers``)
+            instead.
+        """
+        warnings.warn(
+            "lift_quarantines() is deprecated; verifier quarantine is "
+            "now a circuit-breaker configuration — use the containment "
+            "API (cache.containment.verifiers.reset_all()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        lifted = self._core.degradation.lift_quarantines()
+        if self._containment is not None:
+            lifted += self._containment.verifiers.reset_all()
+        return lifted
 
     # -- write path -----------------------------------------------------------
 
@@ -403,6 +458,20 @@ class DocumentCache:
     def dirty_count(self) -> int:
         """Buffered (unflushed) write-backs."""
         return len(self._core.dirty)
+
+    # -- containment -----------------------------------------------------------
+
+    @property
+    def containment(self) -> ContainmentGuard | None:
+        """The containment guard, when a containment policy is set."""
+        return self._containment
+
+    @property
+    def containment_stats(self) -> ContainmentStats | None:
+        """Containment counters (``None`` without a containment policy)."""
+        return (
+            self._containment.stats if self._containment is not None else None
+        )
 
     # -- consistency recovery --------------------------------------------------
 

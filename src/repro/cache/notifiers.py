@@ -341,6 +341,13 @@ class NotifierProperty(ActiveProperty):
         if self._suppressed(event):
             self.events_filtered += 1
             return None
+        guard = getattr(self.bus.ctx, "containment", None)
+        if guard is not None:
+            return guard.run_notifier(self, event, self._notify)
+        return self._notify(event)
+
+    def _notify(self, event: Event) -> Invalidation:
+        """Build and deliver the invalidation (the unguarded body)."""
         reason = self.reason_map.get(
             event.type, InvalidationReason.EXTERNAL_CHANGED
         )

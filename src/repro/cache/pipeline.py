@@ -181,7 +181,20 @@ class VerifierGateStage:
             core.ctx.charge_hop(hop, entry.size)
 
         if core.use_verifiers:
-            if self._entry_quarantined(entry):
+            guard = core.containment
+            if guard is not None:
+                if guard.verifier_blocked(entry):
+                    # A breaker is open on one of the entry's verifiers:
+                    # the entry cannot be trusted and the verifier cannot
+                    # be afforded — force a miss.  Unlike the legacy
+                    # quarantine this heals itself: after the probation
+                    # delay the breaker admits a probe.
+                    core.drop(entry, InvalidationReason.VERIFIER_FAILED,
+                              origin="containment")
+                    ctx.entry = None
+                    ctx.stale = stale
+                    return None
+            elif self._entry_quarantined(entry):
                 # A repeatedly-failing verifier guards this entry: the
                 # entry cannot be trusted and the verifier cannot be
                 # afforded — force a miss instead of verifying.
@@ -200,6 +213,8 @@ class VerifierGateStage:
                     cost_ms=verifier.cost_ms,
                 )
                 try:
+                    if guard is not None:
+                        guard.check_verifier_budget(entry, verifier)
                     if core.ctx.faults is not None:
                         core.ctx.faults.check_verifier(
                             verifier.cost_ms,
@@ -207,7 +222,10 @@ class VerifierGateStage:
                         )
                     result = verifier.run(core.ctx.clock.now_ms, content)
                 except Exception:
-                    self._note_failure(entry, verifier)
+                    if guard is not None:
+                        guard.note_verifier_failure(entry, verifier)
+                    else:
+                        self._note_failure(entry, verifier)
                     core.drop(entry, InvalidationReason.VERIFIER_FAILED,
                               origin="verifier")
                     core.emit("verifier", "invalidated", key=ctx.key)
@@ -215,9 +233,12 @@ class VerifierGateStage:
                     ctx.entry = None
                     ctx.stale = (content, entry.created_at_ms)
                     return None
-                core.degradation.note_verifier_success(
-                    core.verifier_fault_key(entry, verifier)
-                )
+                if guard is not None:
+                    guard.note_verifier_success(entry, verifier)
+                else:
+                    core.degradation.note_verifier_success(
+                        core.verifier_fault_key(entry, verifier)
+                    )
                 if result.verdict is Verdict.INVALID:
                     reason = (
                         InvalidationReason.SOURCE_UPDATED_OUT_OF_BAND
@@ -405,6 +426,7 @@ class FetchStage:
         core = self.core
         if ctx.for_fill:
             ctx.content, ctx.meta = core.fetch_with_retry(ctx.reference)
+            self._mark_contained(ctx)
             return None
         try:
             ctx.content, ctx.meta = core.fetch_with_retry(ctx.reference)
@@ -413,7 +435,18 @@ class FetchStage:
         except Exception as error:
             core.emit("fetch", "failed", key=ctx.key)
             ctx.fetch_error = error
+            return None
+        self._mark_contained(ctx)
         return None
+
+    @staticmethod
+    def _mark_contained(ctx: ReadContext) -> None:
+        """A containment skip anywhere on the path degrades the serve."""
+        meta = ctx.meta
+        if meta is not None and (
+            meta.contained_skips or meta.contained_required
+        ):
+            ctx.degraded = True
 
 
 class DegradationStage:
@@ -492,6 +525,22 @@ class AdmissionStage:
         content, meta = ctx.content, ctx.meta
         assert content is not None and meta is not None
         disposition = "miss-degraded" if ctx.degraded else "miss"
+        if meta.contained_required:
+            # A *required* transformer was skipped by the containment
+            # layer: the untransformed bytes may be served (degraded)
+            # but never admitted, so every access misses to the kernel
+            # until the breaker closes.
+            core.emit("admission", "contained", key=ctx.key)
+            core.emit(
+                "read", disposition, key=ctx.key, started_ms=ctx.started_ms
+            )
+            if ctx.for_fill:
+                return (content, meta)
+            elapsed = core.ctx.clock.now_ms - ctx.started_ms
+            return CacheReadOutcome(
+                content=content, hit=False, elapsed_ms=elapsed,
+                disposition=disposition,
+            )
         decision = core.admission.decide(content, meta, core.capacity_bytes)
         if decision is AdmissionDecision.UNCACHEABLE:
             core.emit("admission", "uncacheable", key=ctx.key)

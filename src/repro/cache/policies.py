@@ -24,6 +24,12 @@ import enum
 import typing
 from typing import Protocol, runtime_checkable
 
+from repro.cache.containment import (
+    BreakerConfig,
+    BreakerRegistry,
+    BreakerState,
+    ExecutionBudget,
+)
 from repro.cache.replacement import GreedyDualSizePolicy, ReplacementPolicy
 from repro.errors import CacheError
 
@@ -38,6 +44,8 @@ __all__ = [
     "VoteAdmissionPolicy",
     "DegradationPolicy",
     "DefaultDegradationPolicy",
+    "ContainmentPolicy",
+    "DefaultContainmentPolicy",
     "RecoveryPolicy",
     "DefaultRecoveryPolicy",
     "ReplacementPolicy",
@@ -108,6 +116,85 @@ class DegradationPolicy(Protocol):
     def lift_quarantines(self) -> int:
         """Clear all quarantines and streaks; returns how many lifted."""
         ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class ContainmentPolicy(Protocol):
+    """Configuration seam for the containment layer.
+
+    A cache constructed with a containment policy gets a
+    :class:`~repro.cache.containment.ContainmentGuard` wrapped around
+    the three untrusted-code seams (stream wrappers, verifiers,
+    notifier callbacks).  ``None`` (the default) builds no guard and
+    leaves the cache byte-identical to its uncontained behaviour.
+    """
+
+    #: Breaker tuning per seam (stream wrappers, verifiers, notifiers).
+    wrapper_breaker: BreakerConfig
+    verifier_breaker: BreakerConfig
+    notifier_breaker: BreakerConfig
+    #: Per-invocation execution caps, or ``None`` for no budgets.
+    budget: ExecutionBudget | None
+
+    def fallback(self, role: str) -> str:
+        """Fallback for a tripped breaker, given the property's role.
+
+        *role* is ``"optional"`` (the property does not transform read
+        content) or ``"required"`` (it does).  Returns ``"skip"`` (serve
+        without the property, marked degraded), ``"force-miss"`` (skip
+        but never admit the untransformed result, so every access goes
+        to the kernel) or ``"deny"`` (refuse with
+        :class:`~repro.errors.CircuitOpenError`).
+        """
+        ...  # pragma: no cover - protocol
+
+
+class DefaultContainmentPolicy:
+    """One breaker configuration for all three seams + role fallbacks.
+
+    Parameters
+    ----------
+    failure_threshold, probation_delay_ms, half_open_successes:
+        The closed → open → half-open state machine tuning shared by
+        every breaker (see :class:`~repro.cache.containment.BreakerConfig`).
+    max_cost_ms, max_bytes:
+        Per-invocation execution budgets; both ``None`` disables them.
+    deny_required, deny_optional:
+        Escalate the corresponding role's fallback from its default
+        (force-miss for required transformers, skip for optional ones)
+        to a typed denial.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        probation_delay_ms: float | None = 1_000.0,
+        half_open_successes: int = 1,
+        max_cost_ms: float | None = None,
+        max_bytes: int | None = None,
+        deny_required: bool = False,
+        deny_optional: bool = False,
+    ) -> None:
+        config = BreakerConfig(
+            failure_threshold=failure_threshold,
+            probation_delay_ms=probation_delay_ms,
+            half_open_successes=half_open_successes,
+        )
+        self.wrapper_breaker = config
+        self.verifier_breaker = config
+        self.notifier_breaker = config
+        self.budget = (
+            ExecutionBudget(max_cost_ms=max_cost_ms, max_bytes=max_bytes)
+            if max_cost_ms is not None or max_bytes is not None
+            else None
+        )
+        self.deny_required = deny_required
+        self.deny_optional = deny_optional
+
+    def fallback(self, role: str) -> str:
+        if role == "required":
+            return "deny" if self.deny_required else "force-miss"
+        return "deny" if self.deny_optional else "skip"
 
 
 @runtime_checkable
@@ -201,10 +288,21 @@ class DefaultDegradationPolicy:
         self.stale_serve_max_age_ms = stale_serve_max_age_ms
         self.bypass_backing_on_error = bypass_backing_on_error
         self.verifier_quarantine_threshold = verifier_quarantine_threshold
-        #: Consecutive raise-failures per (document, verifier type), and
-        #: the keys currently quarantined.
-        self._failures: dict[tuple["DocumentId", str], int] = {}
-        self._quarantined: set[tuple["DocumentId", str]] = set()
+        #: The quarantine, re-expressed as circuit breakers: threshold-N
+        #: consecutive failures trip, and with no probation delay an
+        #: open breaker is permanent until :meth:`lift_quarantines` —
+        #: exactly the historical dict-and-set semantics.
+        self.breakers = BreakerRegistry(
+            BreakerConfig(
+                failure_threshold=(
+                    verifier_quarantine_threshold
+                    if verifier_quarantine_threshold is not None
+                    else 1
+                ),
+                probation_delay_ms=None,
+                half_open_successes=1,
+            )
+        )
 
     # -- serve-stale bounds ----------------------------------------------------
 
@@ -218,29 +316,21 @@ class DefaultDegradationPolicy:
     def note_verifier_failure(self, key: tuple["DocumentId", str]) -> bool:
         if self.verifier_quarantine_threshold is None:
             return False
-        count = self._failures.get(key, 0) + 1
-        self._failures[key] = count
-        if (
-            count >= self.verifier_quarantine_threshold
-            and key not in self._quarantined
-        ):
-            self._quarantined.add(key)
-            return True
-        return False
+        return self.breakers.get(key).record_failure()
 
     def note_verifier_success(self, key: tuple["DocumentId", str]) -> None:
         if self.verifier_quarantine_threshold is None:
             return
-        self._failures.pop(key, None)
+        breaker = self.breakers.peek(key)
+        if breaker is not None:
+            breaker.record_success()
 
     def is_quarantined(self, key: tuple["DocumentId", str]) -> bool:
-        return key in self._quarantined
+        breaker = self.breakers.peek(key)
+        return breaker is not None and breaker.state is BreakerState.OPEN
 
     def quarantined_keys(self) -> set[tuple["DocumentId", str]]:
-        return set(self._quarantined)
+        return self.breakers.open_keys()
 
     def lift_quarantines(self) -> int:
-        lifted = len(self._quarantined)
-        self._quarantined.clear()
-        self._failures.clear()
-        return lifted
+        return self.breakers.reset_all()

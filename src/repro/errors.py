@@ -33,6 +33,9 @@ __all__ = [
     "NotifierError",
     "NotificationLostError",
     "LeaseExpiredError",
+    "ContainmentError",
+    "CircuitOpenError",
+    "BudgetExceededError",
     "PermissionDeniedError",
     "NFSError",
     "BadFileHandleError",
@@ -149,6 +152,35 @@ class LeaseExpiredError(CacheError):
     the renewal).  A lapsed lease means pushed invalidations can no
     longer be trusted to have arrived; the holder must resync against
     server state before trusting its entries again.
+    """
+
+
+class ContainmentError(CacheError):
+    """Base class for containment-layer refusals.
+
+    Raised when the containment layer (circuit breakers + execution
+    budgets around property code) decides an access cannot be served —
+    the *deny* fallback — rather than silently degrading it.
+    """
+
+
+class CircuitOpenError(ContainmentError):
+    """A circuit breaker is open and the policy's fallback is *deny*.
+
+    The (document, code-site) pair has failed repeatedly; until the
+    probation delay elapses and a half-open probe succeeds, accesses
+    that cannot be served without the broken property are refused with
+    this typed error instead of running the misbehaving code again.
+    """
+
+
+class BudgetExceededError(ContainmentError):
+    """A property invocation exceeded its execution budget.
+
+    Budgets cap each invocation's virtual-ms cost and the bytes it may
+    stream; property code that runs away past either cap is aborted
+    with this error, which the containment guard converts into a
+    breaker failure plus the configured fallback.
     """
 
 

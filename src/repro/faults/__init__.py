@@ -34,6 +34,7 @@ from repro.faults.scenarios import (
     crash_chaos_scenario,
     flaky_fetch_scenario,
     lossy_bus_scenario,
+    misbehave_chaos_scenario,
     outage_scenario,
     partition_chaos_scenario,
     partition_scenario,
@@ -57,5 +58,6 @@ __all__ = [
     "standard_chaos_scenario",
     "partition_chaos_scenario",
     "crash_chaos_scenario",
+    "misbehave_chaos_scenario",
     "NAMED_CHAOS_SCENARIOS",
 ]

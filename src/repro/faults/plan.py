@@ -30,6 +30,9 @@ The plan is consulted at the seams the system already has:
   paper's lost-callback problem) or delayed.
 * :meth:`FaultPlan.check_verifier` — from the cache manager's hit path;
   injects verifier exceptions and enforces a timeout budget.
+* :meth:`FaultPlan.check_property` — from the stream-wrapper seam in
+  :mod:`repro.streams.chain`; picks a property-misbehaviour mode
+  (``raise`` / ``runaway`` / ``corrupt``) for one wrapper invocation.
 * :meth:`FaultPlan.link_down` — from :meth:`SimContext.charge_hop`;
   scheduled topology-link outages.
 """
@@ -115,6 +118,11 @@ class FaultStats:
     verifier_failures: int = 0
     verifier_timeouts: int = 0
     link_outages: int = 0
+    #: Property-misbehaviour injections at the stream-wrapper seam,
+    #: by mode.
+    properties_raised: int = 0
+    properties_runaway: int = 0
+    properties_corrupted: int = 0
 
     @property
     def total(self) -> int:
@@ -125,6 +133,8 @@ class FaultStats:
             + self.notifications_partition_dropped
             + self.verifier_failures + self.verifier_timeouts
             + self.link_outages
+            + self.properties_raised + self.properties_runaway
+            + self.properties_corrupted
         )
 
 
@@ -164,6 +174,19 @@ class FaultPlan:
     verifier_timeout_budget_ms:
         If set, any verifier whose declared ``cost_ms`` exceeds the
         budget is failed as a timeout before it runs.
+    property_failure_probability:
+        Per-invocation chance that a property's stream wrapper
+        misbehaves.  The mode is drawn uniformly from
+        ``property_failure_modes``: ``raise`` throws from the wrapper
+        as it is applied, ``runaway`` burns
+        ``property_runaway_cost_ms`` extra virtual time, ``corrupt``
+        garbles the stream and then fails it mid-transfer.  Uncontained,
+        all three poison the access; the containment layer converts
+        them into breaker trips and fallbacks.
+    property_failure_modes:
+        The misbehaviour modes eligible for the draw.
+    property_runaway_cost_ms:
+        Extra virtual time a ``runaway`` invocation burns.
     link_outages:
         Scheduled topology-link outage windows, keyed by hop name;
         crossing a downed hop raises
@@ -193,6 +216,11 @@ class FaultPlan:
         notifier_delay_ms: float = 0.0,
         verifier_failure_probability: float = 0.0,
         verifier_timeout_budget_ms: float | None = None,
+        property_failure_probability: float = 0.0,
+        property_failure_modes: "Sequence[str]" = (
+            "raise", "runaway", "corrupt",
+        ),
+        property_runaway_cost_ms: float = 25.0,
         link_outages: "Sequence[OutageWindow]" = (),
         bus_outages: "Sequence[OutageWindow]" = (),
         cache_crashes: "Sequence[float]" = (),
@@ -226,6 +254,24 @@ class FaultPlan:
                 f"{verifier_timeout_budget_ms}"
             )
         self.verifier_timeout_budget_ms = verifier_timeout_budget_ms
+        self.property_failure_probability = _validate_probability(
+            "property_failure_probability", property_failure_probability
+        )
+        modes = tuple(property_failure_modes)
+        if not modes or any(
+            mode not in ("raise", "runaway", "corrupt") for mode in modes
+        ):
+            raise WorkloadError(
+                "property_failure_modes must be a non-empty subset of "
+                f"raise/runaway/corrupt: {modes}"
+            )
+        self.property_failure_modes = modes
+        if property_runaway_cost_ms < 0:
+            raise WorkloadError(
+                "property_runaway_cost_ms must be non-negative: "
+                f"{property_runaway_cost_ms}"
+            )
+        self.property_runaway_cost_ms = property_runaway_cost_ms
         self.link_outages = tuple(link_outages)
         self.bus_outages = tuple(bus_outages)
         for instant in cache_crashes:
@@ -238,6 +284,7 @@ class FaultPlan:
         self._rng_fetch = random.Random(f"{seed}:fetch")
         self._rng_bus = random.Random(f"{seed}:bus")
         self._rng_verifier = random.Random(f"{seed}:verifier")
+        self._rng_property = random.Random(f"{seed}:property")
         self.stats = FaultStats()
         self.trace: list[FaultRecord] = []
 
@@ -357,6 +404,31 @@ class FaultPlan:
             raise VerifierError(
                 f"injected {label} failure at t={self.clock.now_ms:.1f}ms"
             )
+
+    # -- property (stream-wrapper) seam ---------------------------------------
+
+    def check_property(self, label: str = "property") -> str | None:
+        """Decide one property stream-wrapper invocation's misbehaviour.
+
+        Returns ``None`` (behave) or one of the configured modes.  Zero
+        probability consumes no RNG draw, so runs without property
+        faults keep byte-identical injection streams.
+        """
+        if (
+            not self.property_failure_probability
+            or self._rng_property.random()
+            >= self.property_failure_probability
+        ):
+            return None
+        mode = self._rng_property.choice(list(self.property_failure_modes))
+        if mode == "raise":
+            self.stats.properties_raised += 1
+        elif mode == "runaway":
+            self.stats.properties_runaway += 1
+        else:
+            self.stats.properties_corrupted += 1
+        self._record("property", mode, label)
+        return mode
 
     # -- topology seam -------------------------------------------------------
 

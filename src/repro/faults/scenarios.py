@@ -30,6 +30,7 @@ __all__ = [
     "standard_chaos_scenario",
     "partition_chaos_scenario",
     "crash_chaos_scenario",
+    "misbehave_chaos_scenario",
     "NAMED_CHAOS_SCENARIOS",
 ]
 
@@ -175,9 +176,35 @@ def crash_chaos_scenario(
     )
 
 
+def misbehave_chaos_scenario(
+    clock: "VirtualClock",
+    seed: int = 0,
+    property_failure_probability: float = 0.10,
+) -> FaultPlan:
+    """``--faults misbehave``: standard chaos plus misbehaving properties.
+
+    10 % of property stream-wrapper invocations misbehave (raise /
+    runaway / corrupt, drawn uniformly) — the hazard the containment
+    layer's breakers, budgets and firewalls exist to absorb.  Unlike the
+    other named scenarios this one *does* raise out of unprepared
+    deployments: run it against a cache with a containment policy (or a
+    runner that counts property failures against availability).
+    """
+    return FaultPlan(
+        clock,
+        seed=seed,
+        notifier_loss_probability=0.05,
+        notifier_delay_probability=0.10,
+        notifier_delay_ms=100.0,
+        verifier_failure_probability=0.02,
+        property_failure_probability=property_failure_probability,
+    )
+
+
 #: Scenario names accepted by the CLI's ``--faults [NAME]`` flag.
 NAMED_CHAOS_SCENARIOS = {
     "standard": standard_chaos_scenario,
     "partition": partition_chaos_scenario,
     "crash": crash_chaos_scenario,
+    "misbehave": misbehave_chaos_scenario,
 }

@@ -33,6 +33,7 @@ from repro.streams.base import (
     InputStream,
     OutputStream,
 )
+from repro.streams.chain import apply_read_wrapper, apply_write_wrapper
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.placeless.reference import DocumentReference
@@ -63,6 +64,13 @@ class PathMeta:
     #: True when a property on the path asked for the entry to be pinned
     #: ("always available", §5).
     pin: bool = False
+    #: Optional transformers skipped by the containment layer on this
+    #: path; any skip marks the served result degraded.
+    contained_skips: int = 0
+    #: *Required* transformers skipped by the containment layer: the
+    #: untransformed result must never be admitted to a cache, so every
+    #: access forces a miss to the kernel until the breaker closes.
+    contained_required: int = 0
 
     @property
     def cacheability(self) -> Cacheability:
@@ -212,8 +220,7 @@ class BaseDocument(PropertyHolder):
             meta.verifiers.append(fetch.verifier)
         stream: InputStream = BytesInputStream(fetch.content)
         for prop in self.stream_chain(EventType.GET_INPUT_STREAM):
-            meta.absorb_property(self.ctx, prop)
-            stream = prop.wrap_input(stream, event)
+            stream = apply_read_wrapper(self.ctx, prop, stream, event, meta)
         return stream, len(fetch.content)
 
     # -- write path (base half) ------------------------------------------------
@@ -235,8 +242,7 @@ class BaseDocument(PropertyHolder):
         # wrapping in reverse.
         base_chain = self.stream_chain(EventType.GET_OUTPUT_STREAM)
         for prop in reversed(base_chain):
-            self.ctx.charge(prop.execution_cost_ms)
-            stream = prop.wrap_output(stream, event)
+            stream = apply_write_wrapper(self.ctx, prop, stream, event)
         return stream, sink
 
     # -- change snooping -----------------------------------------------------------

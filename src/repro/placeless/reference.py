@@ -22,6 +22,7 @@ from repro.placeless.document import (
 from repro.placeless.properties import AttachmentSite
 from repro.placeless.propertyset import PropertyHolder
 from repro.sim.context import SimContext
+from repro.streams.chain import apply_read_wrapper, apply_write_wrapper
 
 __all__ = ["DocumentReference"]
 
@@ -78,8 +79,7 @@ class DocumentReference(PropertyHolder):
         stream, source_size = self.base.begin_read(event, meta)
         self.dispatcher.dispatch(event)
         for prop in self.stream_chain(EventType.GET_INPUT_STREAM):
-            meta.absorb_property(self.ctx, prop)
-            stream = prop.wrap_input(stream, event)
+            stream = apply_read_wrapper(self.ctx, prop, stream, event, meta)
         return ReadResult(stream=stream, meta=meta, source_size=source_size)
 
     def read_content(self) -> bytes:
@@ -105,8 +105,7 @@ class DocumentReference(PropertyHolder):
         # Within the reference chain, the first property executes first
         # (outermost); wrap in reverse so chain order is execution order.
         for prop in reversed(ref_chain):
-            self.ctx.charge(prop.execution_cost_ms)
-            stream = prop.wrap_output(stream, event)
+            stream = apply_write_wrapper(self.ctx, prop, stream, event)
         return WriteResult(stream=stream, sink=sink)
 
     def write_content(self, content: bytes) -> None:

@@ -30,6 +30,7 @@ from repro.sim.latency import LatencyModel
 from repro.sim.topology import Topology
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.containment import ContainmentGuard
     from repro.faults.plan import FaultPlan
 
 __all__ = ["SimContext"]
@@ -47,6 +48,11 @@ class SimContext:
     #: Fault-injection schedule for this run; ``None`` means a healthy
     #: world (unless a process-wide default scenario is installed).
     faults: "FaultPlan | None" = None
+    #: Containment guard wrapped around property-code seams; attached by
+    #: a cache constructed with a containment policy.  ``None`` (the
+    #: default) keeps the stream wrappers on their historical
+    #: unguarded path.
+    containment: "ContainmentGuard | None" = None
 
     def __post_init__(self) -> None:
         if self.faults is None:

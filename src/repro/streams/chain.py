@@ -15,15 +15,47 @@ at the document reference and then at the base document" — the
 application writes into the outermost stream, which is the *first*
 reference property's; data then flows through the remaining reference
 wrappers, the base wrappers, and finally the bit-provider's sink.
+
+Both builders fail **closed**: a wrapper that raises during chain
+construction closes the partially-built chain before the error
+propagates, so no half-wrapped stream leaks to the caller.
+
+This module is also the stream seam of the containment layer:
+:func:`apply_read_wrapper` / :func:`apply_write_wrapper` are the single
+points where property stream code actually runs on a document path.
+Without a containment guard they preserve the historical absorb+wrap
+behaviour byte-for-byte (plus optional seed-deterministic misbehaviour
+injection from the fault plan); with a guard attached to the context
+they route through its breakers, budgets and exception firewalls.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+import typing
+from typing import Any, Callable, Iterable
 
+from repro.errors import BudgetExceededError, PropertyError, StreamError
 from repro.streams.base import InputStream, OutputStream
 
-__all__ = ["build_input_chain", "build_output_chain", "drain"]
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.placeless.document import PathMeta
+    from repro.placeless.properties import ActiveProperty
+    from repro.sim.context import SimContext
+
+__all__ = [
+    "build_input_chain",
+    "build_output_chain",
+    "drain",
+    "apply_read_wrapper",
+    "apply_write_wrapper",
+    "property_site",
+    "injected_property_error",
+    "FirewallInputStream",
+    "FirewallOutputStream",
+    "ByteCapInputStream",
+    "CorruptingInputStream",
+    "CorruptingOutputStream",
+]
 
 InputWrapper = Callable[[InputStream], InputStream]
 OutputWrapper = Callable[[OutputStream], OutputStream]
@@ -41,10 +73,17 @@ def build_input_chain(
     repository — so it transforms the content first, exactly as §2's
     calling chain describes.  Returns the outermost stream the application
     reads from.
+
+    Fails closed: a raising wrapper closes the chain built so far before
+    the error propagates.
     """
     stream = source
     for wrap in wrappers:
-        stream = wrap(stream)
+        try:
+            stream = wrap(stream)
+        except Exception:
+            stream.close()
+            raise
     return stream
 
 
@@ -60,10 +99,17 @@ def build_output_chain(
     in the calling chain ... or if it is the last to the application" — so
     the application's writes hit it first.  Returns the outermost stream
     the application writes into.
+
+    Fails closed: a raising wrapper closes the chain built so far before
+    the error propagates.
     """
     stream = sink
     for wrap in reversed(list(wrappers)):
-        stream = wrap(stream)
+        try:
+            stream = wrap(stream)
+        except Exception:
+            stream.close()
+            raise
     return stream
 
 
@@ -83,3 +129,225 @@ def drain(source: InputStream, chunk_size: int = 4096) -> bytes:
     finally:
         source.close()
     return b"".join(pieces)
+
+
+# -- the stream seam of the containment layer ----------------------------------
+
+
+def property_site(prop: "ActiveProperty") -> str:
+    """Breaker/fault site label for one property's stream wrappers."""
+    return f"stream:{prop.name}"
+
+
+def injected_property_error(prop: "ActiveProperty") -> PropertyError:
+    """The exception an injected *raise*-mode misbehaviour throws."""
+    return PropertyError(
+        f"injected failure in property {prop.name!r}"
+    )
+
+
+def apply_read_wrapper(
+    ctx: "SimContext",
+    prop: "ActiveProperty",
+    stream: InputStream,
+    event: Any,
+    meta: "PathMeta",
+) -> InputStream:
+    """Run one property's read-path interposition (absorb + wrap).
+
+    This is where untrusted property code executes on the read path.
+    With a containment guard on the context the invocation runs behind
+    its breaker, budget and firewall; without one, behaviour is the
+    historical ``meta.absorb_property`` + ``prop.wrap_input`` —
+    augmented only by the fault plan's seed-deterministic property
+    misbehaviour, which (uncontained) propagates to the application.
+    """
+    guard = getattr(ctx, "containment", None)
+    if guard is not None:
+        return guard.wrap_input(prop, stream, event, meta)
+    plan = ctx.faults
+    mode = None
+    if plan is not None and not getattr(prop, "is_infrastructure", False):
+        mode = plan.check_property(property_site(prop))
+    meta.absorb_property(ctx, prop)
+    if mode == "runaway" and plan is not None:
+        ctx.charge(plan.property_runaway_cost_ms)
+    if mode == "raise":
+        raise injected_property_error(prop)
+    wrapped = prop.wrap_input(stream, event)
+    if mode == "corrupt":
+        wrapped = CorruptingInputStream(wrapped, property_site(prop))
+    return wrapped
+
+
+def apply_write_wrapper(
+    ctx: "SimContext",
+    prop: "ActiveProperty",
+    stream: OutputStream,
+    event: Any,
+) -> OutputStream:
+    """Run one property's write-path interposition (charge + wrap).
+
+    The write-path twin of :func:`apply_read_wrapper`.
+    """
+    guard = getattr(ctx, "containment", None)
+    if guard is not None:
+        return guard.wrap_output(prop, stream, event)
+    plan = ctx.faults
+    mode = None
+    if plan is not None and not getattr(prop, "is_infrastructure", False):
+        mode = plan.check_property(property_site(prop))
+    ctx.charge(prop.execution_cost_ms)
+    if mode == "runaway" and plan is not None:
+        ctx.charge(plan.property_runaway_cost_ms)
+    if mode == "raise":
+        raise injected_property_error(prop)
+    wrapped = prop.wrap_output(stream, event)
+    if mode == "corrupt":
+        wrapped = CorruptingOutputStream(wrapped, property_site(prop))
+    return wrapped
+
+
+class FirewallInputStream(InputStream):
+    """Exception firewall around a property's input stream.
+
+    Reports the stream's fate to the containment guard: ``on_failure``
+    once if any read raises (the error still propagates — a mid-stream
+    failure cannot be skipped retroactively, but the breaker learns),
+    ``on_success`` once when end of stream is reached cleanly.
+    """
+
+    def __init__(
+        self,
+        inner: InputStream,
+        on_failure: Callable[[BaseException], None],
+        on_success: Callable[[], None],
+    ) -> None:
+        super().__init__()
+        self._inner = inner
+        self._on_failure = on_failure
+        self._on_success = on_success
+        self._reported = False
+
+    def _read_chunk(self, size: int) -> bytes:
+        try:
+            chunk = self._inner.read(size)
+        except Exception as error:
+            if not self._reported:
+                self._reported = True
+                self._on_failure(error)
+            raise
+        if not chunk and not self._reported:
+            self._reported = True
+            self._on_success()
+        return chunk
+
+    def _on_close(self) -> None:
+        self._inner.close()
+
+
+class FirewallOutputStream(OutputStream):
+    """Exception firewall around a property's output stream.
+
+    ``on_failure`` fires once if any write raises (the error
+    propagates); ``on_success`` fires at a clean close.
+    """
+
+    def __init__(
+        self,
+        inner: OutputStream,
+        on_failure: Callable[[BaseException], None],
+        on_success: Callable[[], None],
+    ) -> None:
+        super().__init__()
+        self._inner = inner
+        self._on_failure = on_failure
+        self._on_success = on_success
+        self._reported = False
+
+    def _write_chunk(self, data: bytes) -> None:
+        try:
+            self._inner.write(data)
+        except Exception as error:
+            if not self._reported:
+                self._reported = True
+                self._on_failure(error)
+            raise
+
+    def _on_close(self) -> None:
+        self._inner.close()
+        if not self._reported:
+            self._reported = True
+            self._on_success()
+
+
+class ByteCapInputStream(InputStream):
+    """Enforces an execution budget's byte cap on a property stream."""
+
+    def __init__(self, inner: InputStream, max_bytes: int, site: str) -> None:
+        super().__init__()
+        self._inner = inner
+        self._max_bytes = max_bytes
+        self._site = site
+        self.bytes_read = 0
+
+    def _read_chunk(self, size: int) -> bytes:
+        chunk = self._inner.read(size)
+        self.bytes_read += len(chunk)
+        if self.bytes_read > self._max_bytes:
+            raise BudgetExceededError(
+                f"{self._site}: streamed {self.bytes_read} bytes, "
+                f"budget {self._max_bytes}"
+            )
+        return chunk
+
+    def _on_close(self) -> None:
+        self._inner.close()
+
+
+class CorruptingInputStream(InputStream):
+    """Injected *corrupt-output* misbehaviour on the read path.
+
+    Delivers one garbled chunk, then fails mid-stream — a transformer
+    whose output framing broke partway through, detectably.
+    """
+
+    def __init__(self, inner: InputStream, site: str) -> None:
+        super().__init__()
+        self._inner = inner
+        self._site = site
+        self._delivered = False
+
+    def _read_chunk(self, size: int) -> bytes:
+        if self._delivered:
+            raise StreamError(
+                f"{self._site}: injected corrupt output mid-stream"
+            )
+        self._delivered = True
+        chunk = self._inner.read(size)
+        return bytes(byte ^ 0x5A for byte in chunk)
+
+    def _on_close(self) -> None:
+        self._inner.close()
+
+
+class CorruptingOutputStream(OutputStream):
+    """Injected *corrupt-output* misbehaviour on the write path.
+
+    The first write fails with a stream error — the transformer mangled
+    its output and downstream framing rejected it — so no corrupt bytes
+    reach the bit-provider.
+    """
+
+    def __init__(self, inner: OutputStream, site: str) -> None:
+        super().__init__()
+        self._inner = inner
+        self._site = site
+
+    def _write_chunk(self, data: bytes) -> None:
+        raise StreamError(
+            f"{self._site}: injected corrupt output on write"
+        )
+
+    def _on_close(self) -> None:
+        self._inner.close()

@@ -18,7 +18,13 @@ from typing import Iterable
 
 from repro.cache.instrumentation import StageRecorder
 from repro.cache.manager import DocumentCache
-from repro.errors import ProviderError, WorkloadError
+from repro.errors import (
+    ContainmentError,
+    PropertyError,
+    ProviderError,
+    StreamError,
+    WorkloadError,
+)
 from repro.placeless.kernel import PlacelessKernel
 from repro.placeless.reference import DocumentReference
 from repro.properties.translate import TranslationProperty
@@ -219,9 +225,11 @@ class TraceRunner:
                             report.hits += 1
                         if outcome.degraded:
                             report.degraded_reads += 1
-                except ProviderError:
-                    # The repository/link is down and every degradation
-                    # mode was exhausted; the trace carries on — that is
+                except (ProviderError, PropertyError, StreamError,
+                        ContainmentError):
+                    # The repository/link is down (or active-property
+                    # code blew up mid-path) and every degradation mode
+                    # was exhausted; the trace carries on — that is
                     # precisely what availability measures.
                     report.read_failures += 1
             elif event.kind is TraceEventKind.WRITE:
@@ -237,7 +245,8 @@ class TraceRunner:
                             self._writer_reference(event.document_index),
                             content,
                         )
-                except ProviderError:
+                except (ProviderError, PropertyError, StreamError,
+                        ContainmentError):
                     report.write_failures += 1
                 else:
                     report.writes += 1

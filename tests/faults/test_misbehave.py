@@ -1,0 +1,173 @@
+"""The ``misbehave`` fault family: property misbehaviour end to end.
+
+Covers the plan-level injection (seed determinism, mode validation,
+zero-probability stream preservation), the named chaos scenario, and a
+chaos-tier run of a traced workload under misbehaving properties — with
+containment on, the run must complete with availability intact; with
+containment off, the runner counts the failures instead of crashing.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cache.manager import DocumentCache
+from repro.cache.policies import DefaultContainmentPolicy
+from repro.cache.stats import CacheStats
+from repro.faults.plan import FaultPlan
+from repro.faults.scenarios import misbehave_chaos_scenario
+from repro.placeless.kernel import PlacelessKernel
+from repro.sim.clock import VirtualClock
+from repro.sim.context import SimContext
+from repro.workload.documents import CorpusSpec, build_corpus
+from repro.workload.runner import TraceRunner
+from repro.workload.trace import TraceSpec, generate_trace
+from repro.workload.users import build_population
+
+import pytest
+
+from repro.errors import WorkloadError
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "77"))
+
+
+class TestPropertyFaultPlan:
+    def test_same_seed_same_injection_trace(self):
+        draws = []
+        for _ in range(2):
+            plan = FaultPlan(
+                VirtualClock(), seed=CHAOS_SEED,
+                property_failure_probability=0.3,
+            )
+            draws.append(
+                [plan.check_property(f"stream:p{i}") for i in range(200)]
+            )
+        assert draws[0] == draws[1]
+        assert any(mode is not None for mode in draws[0])
+
+    def test_different_seeds_differ(self):
+        traces = []
+        for seed in (CHAOS_SEED, CHAOS_SEED + 1):
+            plan = FaultPlan(
+                VirtualClock(), seed=seed,
+                property_failure_probability=0.3,
+            )
+            traces.append(
+                [plan.check_property("stream:p") for i in range(200)]
+            )
+        assert traces[0] != traces[1]
+
+    def test_zero_probability_consumes_no_rng(self):
+        # A plan without property faults must keep every other injection
+        # stream byte-identical to a plan that never heard of them.
+        plan = FaultPlan(
+            VirtualClock(), seed=CHAOS_SEED,
+            property_failure_probability=0.0,
+        )
+        before = plan._rng_property.getstate()
+        assert plan.check_property("stream:p") is None
+        assert plan._rng_property.getstate() == before
+
+    def test_modes_are_validated(self):
+        with pytest.raises(WorkloadError):
+            FaultPlan(
+                VirtualClock(),
+                property_failure_probability=0.1,
+                property_failure_modes=("raise", "segfault"),
+            )
+        with pytest.raises(WorkloadError):
+            FaultPlan(
+                VirtualClock(),
+                property_failure_probability=0.1,
+                property_failure_modes=(),
+            )
+
+    def test_stats_count_each_mode(self):
+        plan = FaultPlan(
+            VirtualClock(), seed=CHAOS_SEED,
+            property_failure_probability=1.0,
+        )
+        for _ in range(30):
+            plan.check_property("stream:p")
+        stats = plan.stats
+        injected = (
+            stats.properties_raised
+            + stats.properties_runaway
+            + stats.properties_corrupted
+        )
+        assert injected == 30
+        assert stats.properties_raised > 0
+        assert stats.properties_runaway > 0
+        assert stats.properties_corrupted > 0
+
+    def test_misbehave_scenario_keeps_standard_probabilities(self):
+        plan = misbehave_chaos_scenario(VirtualClock(), seed=CHAOS_SEED)
+        assert plan.notifier_loss_probability == 0.05
+        assert plan.notifier_delay_probability == 0.10
+        assert plan.verifier_failure_probability == 0.02
+        assert plan.property_failure_probability == 0.10
+
+
+def _misbehaving_trace(containment_policy):
+    ctx = SimContext()
+    ctx.faults = misbehave_chaos_scenario(ctx.clock, seed=CHAOS_SEED)
+    kernel = PlacelessKernel(ctx)
+    owner = kernel.create_user("owner")
+    corpus = build_corpus(
+        kernel, owner,
+        CorpusSpec(n_documents=8, ttl_ms=60_000.0, seed=CHAOS_SEED),
+    )
+    population = build_population(
+        kernel, corpus, n_users=2, personalized_fraction=0.5,
+        seed=CHAOS_SEED,
+    )
+    cache = DocumentCache(
+        kernel,
+        capacity_bytes=sum(d.size_bytes for d in corpus),
+        containment_policy=containment_policy,
+        name="misbehave-chaos",
+    )
+    runner = TraceRunner(
+        kernel, corpus, population.references, caches=cache,
+        writes_via_cache=False,
+    )
+    spec = TraceSpec(
+        n_events=400, n_documents=8, n_users=2,
+        p_write=0.08, p_out_of_band=0.04,
+        p_property_change=0.04,
+        mean_think_time_ms=120.0,
+        seed=CHAOS_SEED,
+    )
+    report = runner.execute(generate_trace(spec))
+    return cache, report
+
+
+class TestMisbehaveChaosTier:
+    def test_uncontained_run_completes_counting_failures(self):
+        cache, report = _misbehaving_trace(None)
+        assert report.reads > 0
+        # Without containment the injected raises/corruptions surface
+        # as failed accesses — counted, not crashing the trace.
+        assert report.read_failures > 0
+        assert cache.containment_stats is None
+
+    def test_contained_run_keeps_availability_higher(self):
+        _, bare = _misbehaving_trace(None)
+        cache, contained = _misbehaving_trace(
+            DefaultContainmentPolicy(
+                failure_threshold=1,
+                probation_delay_ms=2_000.0,
+                max_cost_ms=5.0,
+            )
+        )
+        assert contained.reads == bare.reads
+        assert contained.read_failures < bare.read_failures
+        stats = cache.containment_stats
+        assert stats is not None and stats.total > 0
+
+    def test_containment_leaves_cache_stats_shape_alone(self):
+        cache, _ = _misbehaving_trace(
+            DefaultContainmentPolicy(failure_threshold=1)
+        )
+        assert isinstance(cache.stats, CacheStats)
+        assert not hasattr(cache.stats, "failures_contained")

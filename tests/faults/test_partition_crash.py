@@ -19,6 +19,7 @@ from repro.faults.scenarios import (
     NAMED_CHAOS_SCENARIOS,
     cache_crash_scenario,
     crash_chaos_scenario,
+    misbehave_chaos_scenario,
     partition_chaos_scenario,
     partition_scenario,
     standard_chaos_scenario,
@@ -93,16 +94,21 @@ class TestScenarioFactories:
 
     def test_named_scenarios_cover_the_cli_choices(self):
         assert set(NAMED_CHAOS_SCENARIOS) == {
-            "standard", "partition", "crash",
+            "standard", "partition", "crash", "misbehave",
         }
         assert NAMED_CHAOS_SCENARIOS["standard"] is standard_chaos_scenario
         assert NAMED_CHAOS_SCENARIOS["partition"] is partition_chaos_scenario
         assert NAMED_CHAOS_SCENARIOS["crash"] is crash_chaos_scenario
+        assert NAMED_CHAOS_SCENARIOS["misbehave"] is misbehave_chaos_scenario
 
     def test_chaos_variants_keep_the_standard_probabilities(self):
         clock = VirtualClock()
         standard = standard_chaos_scenario(clock)
-        for factory in (partition_chaos_scenario, crash_chaos_scenario):
+        for factory in (
+            partition_chaos_scenario,
+            crash_chaos_scenario,
+            misbehave_chaos_scenario,
+        ):
             variant = factory(VirtualClock())
             assert (
                 variant.notifier_loss_probability

@@ -11,6 +11,7 @@ import pytest
 
 from repro.bench.cacheability import run_cacheability
 from repro.bench.chains import run_chain_latency
+from repro.bench.containment import run_availability, run_recovery
 from repro.bench.collections import run_collections
 from repro.bench.external import run_external_placement
 from repro.bench.notifier_verifier import run_notifier_verifier
@@ -239,3 +240,47 @@ class TestA10ExternalPlacement:
         fast, slow = rows["notifier-fast"], rows["notifier-slow"]
         assert fast.stale_ratio < slow.stale_ratio
         assert fast.samples_taken > slow.samples_taken
+
+
+class TestA14Containment:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        results = {}
+        for rate in (0.0, 0.10):
+            for contained in (False, True):
+                results[(rate, contained)] = run_availability(
+                    rate, contained, rounds=12, n_documents=6
+                )
+        return results
+
+    def test_fault_free_runs_are_identical_either_way(self, cells):
+        bare, contained = cells[(0.0, False)], cells[(0.0, True)]
+        assert bare.failures == contained.failures == 0
+        assert bare.availability == contained.availability == 1.0
+        assert contained.trips == 0
+
+    def test_containment_keeps_availability_near_baseline(self, cells):
+        baseline = cells[(0.0, False)].availability
+        contained = cells[(0.10, True)].availability
+        uncontained = cells[(0.10, False)].availability
+        assert baseline - contained <= 0.05
+        assert baseline - uncontained > 0.05
+
+    def test_containment_collapses_the_latency_tail(self, cells):
+        assert (
+            cells[(0.10, True)].p99_latency_ms
+            < cells[(0.10, False)].p99_latency_ms
+        )
+
+    def test_containment_machinery_actually_engaged(self, cells):
+        r = cells[(0.10, True)]
+        assert r.trips > 0
+        assert r.contained_raises + r.budget_overruns + r.escapes > 0
+
+    def test_breakers_close_within_one_probation_window(self):
+        r = run_recovery(rounds=12, n_documents=6)
+        assert r.open_after_faults > 0
+        assert r.open_after_recovery == 0
+        assert r.closes == r.open_after_faults
+        assert r.recovered_degraded_reads == 0
+        assert r.recovered_failures == 0

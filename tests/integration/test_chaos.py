@@ -243,6 +243,7 @@ class TestFaultedChaosInvariants:
         for signature, count in by_signature.items():
             assert cache.store.refcount(signature) == count
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_transparency_restored_after_recovery(self, faulted_chaos_run):
         kernel, corpus, population, cache, _, _ = faulted_chaos_run
         # Repair the world: past every window, faults off, quarantines

@@ -1,0 +1,146 @@
+"""Property tests for the containment circuit breaker.
+
+A state-machine check of the three promises the breaker makes for any
+interleaving of successes, failures and clock advances:
+
+* an **open** circuit never admits a caller before its probation delay
+  has elapsed (and with no probation configured, never admits at all);
+* once half-open, the configured number of **consecutive** probe
+  successes always closes the circuit — no more, no fewer;
+* a probe **failure re-opens** the circuit immediately, and the
+  probation clock restarts from that failure.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cache.containment import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+
+thresholds = st.integers(min_value=1, max_value=4)
+probation_delays = st.one_of(
+    st.none(),
+    st.floats(
+        min_value=1.0, max_value=1_000.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+)
+probe_quotas = st.integers(min_value=1, max_value=3)
+time_deltas = st.floats(
+    min_value=0.0, max_value=600.0, allow_nan=False, allow_infinity=False
+)
+
+
+class BreakerMachine(RuleBasedStateMachine):
+    """Drives one breaker with random attempts and clock advances."""
+
+    @initialize(
+        threshold=thresholds, delay=probation_delays, quota=probe_quotas
+    )
+    def setup(self, threshold, delay, quota):
+        self.config = BreakerConfig(
+            failure_threshold=threshold,
+            probation_delay_ms=delay,
+            half_open_successes=quota,
+        )
+        self.breaker = CircuitBreaker(self.config)
+        self.now = 0.0
+        #: When we last observed the circuit (re)open.
+        self.opened_at = None
+        #: Consecutive probe successes since entering half-open.
+        self.probe_streak = 0
+
+    @rule(delta=time_deltas)
+    def advance(self, delta):
+        self.now += delta
+
+    @rule(succeed=st.booleans())
+    def attempt(self, succeed):
+        was_open = self.breaker.state is BreakerState.OPEN
+        allowed = self.breaker.allow(self.now)
+        delay = self.config.probation_delay_ms
+        if was_open:
+            if allowed:
+                # Invariant 1: never served through an open circuit
+                # before the probation delay elapsed.
+                assert delay is not None
+                assert self.now - self.opened_at >= delay
+                assert self.breaker.state is BreakerState.HALF_OPEN
+                self.probe_streak = 0
+            else:
+                assert delay is None or self.now - self.opened_at < delay
+        if not allowed:
+            assert self.breaker.state is BreakerState.OPEN
+            return
+        half_open = self.breaker.state is BreakerState.HALF_OPEN
+        if succeed:
+            closed = self.breaker.record_success(self.now)
+            if half_open:
+                self.probe_streak += 1
+                # Invariant 2: exactly the configured number of
+                # consecutive probe successes closes the circuit.
+                assert closed == (
+                    self.probe_streak >= self.config.half_open_successes
+                )
+                if closed:
+                    assert self.breaker.state is BreakerState.CLOSED
+            else:
+                assert not closed
+        else:
+            reopened = self.breaker.record_failure(self.now)
+            if half_open:
+                # Invariant 3: a probe failure re-opens immediately.
+                assert reopened
+                assert self.breaker.state is BreakerState.OPEN
+            if self.breaker.state is BreakerState.OPEN:
+                self.opened_at = self.now
+                self.probe_streak = 0
+
+    @invariant()
+    def open_circuit_has_a_known_opening(self):
+        if self.breaker.state is BreakerState.OPEN:
+            assert self.opened_at is not None
+
+
+TestBreakerMachine = BreakerMachine.TestCase
+TestBreakerMachine.settings = settings(
+    max_examples=50, stateful_step_count=40, deadline=None
+)
+
+
+@given(threshold=thresholds, failures=st.integers(min_value=0, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_trips_after_exactly_threshold_consecutive_failures(
+    threshold, failures
+):
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=threshold, probation_delay_ms=100.0)
+    )
+    for i in range(failures):
+        breaker.record_failure(float(i))
+    expected_open = failures >= threshold
+    assert (breaker.state is BreakerState.OPEN) == expected_open
+
+
+@given(threshold=thresholds)
+@settings(max_examples=25, deadline=None)
+def test_a_success_anywhere_resets_the_failure_streak(threshold):
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=threshold + 1, probation_delay_ms=None)
+    )
+    for i in range(threshold):
+        breaker.record_failure(float(i))
+    breaker.record_success(float(threshold))
+    for i in range(threshold):
+        breaker.record_failure(float(threshold + 1 + i))
+    assert breaker.state is BreakerState.CLOSED
