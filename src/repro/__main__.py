@@ -40,6 +40,8 @@ _EXPERIMENT_MODULES = {
     "recovery": "repro.bench.recovery",
     "a14": "repro.bench.containment",
     "containment": "repro.bench.containment",
+    "a15": "repro.bench.memo",
+    "memo": "repro.bench.memo",
 }
 
 
@@ -74,7 +76,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        importlib.import_module(module_name).main()
+        bench_main = importlib.import_module(module_name).main
+        if getattr(args, "smoke", False):
+            import inspect
+
+            if "smoke" not in inspect.signature(bench_main).parameters:
+                print(
+                    f"experiment {args.experiment!r} has no smoke mode",
+                    file=sys.stderr,
+                )
+                return 2
+            bench_main(smoke=True)
+        else:
+            bench_main()
         return 0
     finally:
         if scenario_name is not None:
@@ -136,7 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
             "partitions and crashes (alias: recovery), a14 containment "
             "of misbehaving active-property code — availability and "
             "latency with circuit breakers, budgets and firewalls "
-            "(alias: containment).  Examples: "
+            "(alias: containment), a15 transform memoization — chain "
+            "executions avoided and cold-miss latency with the memo on "
+            "vs off (alias: memo; supports --smoke).  Examples: "
             "'repro bench a12', 'repro bench a1 --faults', "
             "'repro bench a14', 'repro bench table1 --faults partition', "
             "'repro bench --faults' (all experiments under chaos)."
@@ -157,8 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a14, faults (alias for a12), recovery (alias "
-        "for a13), containment (alias for a14), or all (default)",
+        help="table1, a1..a15, faults (alias for a12), recovery (alias "
+        "for a13), containment (alias for a14), memo (alias for a15), "
+        "or all (default)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="reduced-size run for CI perf-smoke jobs (supported by "
+        "a15; still writes the BENCH_<ID>.json artifact)",
     )
     bench.add_argument(
         "--faults", nargs="?", const="standard", default=None,

@@ -10,6 +10,7 @@ from repro.bench import (
     external,
     faults,
     invalidation,
+    memo,
     notifier_verifier,
     placement,
     qos,
@@ -36,6 +37,7 @@ _EXPERIMENTS = (
     ("A12 fault injection", faults),
     ("A13 consistency recovery", recovery),
     ("A14 containment", containment),
+    ("A15 transform memoization", memo),
 )
 
 

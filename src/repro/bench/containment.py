@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, write_artifact
 from repro.cache.manager import DocumentCache
 from repro.cache.policies import DefaultContainmentPolicy
 from repro.errors import ContainmentError, PropertyError, StreamError
@@ -258,11 +258,24 @@ def main() -> None:
     """Print the A14 containment tables."""
     rates = (0.0, 0.10, 0.25)
     rows = []
+    availability_metrics = []
     baseline = None
     headline = None
     for rate in rates:
         for contained in (False, True):
             r = run_availability(rate, contained)
+            availability_metrics.append(
+                {
+                    "misbehave_rate": rate,
+                    "contained": contained,
+                    "reads": r.reads,
+                    "failures": r.failures,
+                    "availability": r.availability,
+                    "p99_latency_ms": r.p99_latency_ms,
+                    "trips": r.trips,
+                    "escapes": r.escapes,
+                }
+            )
             if rate == 0.0 and not contained:
                 baseline = r.availability
             if rate == 0.10 and contained:
@@ -334,6 +347,20 @@ def main() -> None:
             ),
         )
     )
+    path = write_artifact(
+        "a14",
+        {
+            "availability": availability_metrics,
+            "recovery": {
+                "rate": r.rate,
+                "open_after_faults": r.open_after_faults,
+                "open_after_recovery": r.open_after_recovery,
+                "closes": r.closes,
+                "recovered_failures": r.recovered_failures,
+            },
+        },
+    )
+    print(f"wrote {path.name}")
 
 
 if __name__ == "__main__":

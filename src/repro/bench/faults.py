@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, write_artifact
 from repro.cache.manager import DocumentCache
 from repro.faults.plan import FaultPlan, OutageWindow
 from repro.faults.retry import RetryPolicy
@@ -210,6 +210,25 @@ def main() -> None:
         "reproducibility: identical seed -> identical fault trace and "
         f"stats: {'OK' if identical else 'FAILED'}"
     )
+    path = write_artifact(
+        "a12",
+        {
+            "scenarios": [
+                {
+                    "scenario": result.scenario,
+                    "availability": result.report.availability,
+                    "hit_ratio": result.report.hit_ratio,
+                    "retries": result.cache.stats.retries,
+                    "degraded_serves": result.cache.stats.degraded_serves,
+                    "faults_injected": result.plan.stats.total,
+                }
+                for result in results
+            ],
+            "reproducible": identical,
+        },
+        seed=7,
+    )
+    print(f"wrote {path.name}")
 
 
 if __name__ == "__main__":

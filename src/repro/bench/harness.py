@@ -1,12 +1,23 @@
-"""Shared helpers for the benchmark modules: formatting and statistics."""
+"""Shared helpers for the benchmark modules: formatting, statistics,
+and the machine-readable artifact writer every experiment reports
+through."""
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, Sequence
+import json
+import pathlib
+import subprocess
+from typing import Any, Iterable, Sequence
 
-__all__ = ["format_table", "format_csv", "mean", "percentile"]
+__all__ = [
+    "format_table",
+    "format_csv",
+    "mean",
+    "percentile",
+    "write_artifact",
+]
 
 
 def mean(values: Iterable[float]) -> float:
@@ -26,6 +37,48 @@ def percentile(values: Iterable[float], p: float) -> float:
         raise ValueError(f"percentile out of range: {p}")
     rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
     return ordered[rank]
+
+
+def _git(*argv: str) -> str | None:
+    """One git query against the repo this package runs from, or None."""
+    try:
+        result = subprocess.run(
+            ("git", *argv),
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def write_artifact(
+    experiment_id: str,
+    metrics: dict[str, Any],
+    seed: int | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<ID>.json`` at the repo root and return its path.
+
+    The one shared exit point for machine-readable bench results: every
+    ``python -m repro bench <id>`` run records its metrics, the seed it
+    ran under, and the git commit it ran at, so CI jobs and
+    perf-regression diffs consume the same schema for every experiment.
+    Falls back to the working directory when the package is not inside
+    a git checkout (e.g. an installed wheel).
+    """
+    root = _git("rev-parse", "--show-toplevel")
+    directory = pathlib.Path(root) if root else pathlib.Path.cwd()
+    path = directory / f"BENCH_{experiment_id.upper()}.json"
+    payload = {
+        "experiment": experiment_id.upper(),
+        "seed": seed,
+        "git_sha": _git("rev-parse", "HEAD"),
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_csv(

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, write_artifact
 from repro.cache.manager import DocumentCache
 from repro.cache.pipeline import WriteMode
 from repro.cache.policies import DefaultRecoveryPolicy
@@ -298,10 +298,22 @@ def run_crash(journal: bool, seed: int = 7, n_documents: int = 6) -> CrashResult
 def main() -> None:
     """Print the A13 consistency-recovery tables."""
     loss_rates = (0.0, 0.25, 0.5)
+    convergence_metrics = []
     rows = []
     for loss_rate in loss_rates:
         for recovery in (False, True):
             r = run_convergence(loss_rate, recovery)
+            convergence_metrics.append(
+                {
+                    "loss_rate": loss_rate,
+                    "recovery": recovery,
+                    "converged": r.converged,
+                    "unbounded": r.unbounded,
+                    "mean_staleness_ms": r.mean_staleness_ms,
+                    "max_staleness_ms": r.max_staleness_ms,
+                    "resyncs": r.resyncs,
+                }
+            )
             rows.append(
                 (
                     f"{loss_rate:.0%}",
@@ -361,8 +373,18 @@ def main() -> None:
     )
     print()
     rows = []
+    crash_metrics = []
     for journal in (False, True):
         r = run_crash(journal)
+        crash_metrics.append(
+            {
+                "journal": journal,
+                "acknowledged": r.acknowledged,
+                "replayed": r.replayed,
+                "restored_byte_identical": r.restored_byte_identical,
+                "lost": r.lost,
+            }
+        )
         rows.append(
             (
                 r.journal,
@@ -390,6 +412,11 @@ def main() -> None:
             ),
         )
     )
+    path = write_artifact(
+        "a13",
+        {"convergence": convergence_metrics, "crash": crash_metrics},
+    )
+    print(f"wrote {path.name}")
 
 
 if __name__ == "__main__":

@@ -20,17 +20,23 @@ import typing
 from repro.cache.consistency import Invalidation, InvalidationReason
 from repro.cache.entry import CacheEntry, EntryKey
 from repro.cache.instrumentation import InstrumentationBus, StageEvent
+from repro.cache.memo import ChainFingerprint, MemoRecord, TransformMemo
 from repro.cache.notifiers import InvalidationBus, install_minimum_notifiers
 from repro.cache.stats import CacheStats
 from repro.content.signature import sign
 from repro.content.store import ContentStore
 from repro.errors import CacheError
 from repro.events.types import EventType
+from repro.streams.chain import read_chain_properties
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.containment import ContainmentGuard
     from repro.cache.manager import DocumentCache, WriteMode
-    from repro.cache.policies import AdmissionPolicy, DegradationPolicy
+    from repro.cache.policies import (
+        AdmissionPolicy,
+        DegradationPolicy,
+        MemoPolicy,
+    )
     from repro.cache.recovery import ConsistencyRecoveryManager
     from repro.cache.replacement import ReplacementPolicy
     from repro.faults.retry import RetryPolicy
@@ -109,6 +115,12 @@ class CacheCore:
         #: configured; ``None`` (the default) keeps every seam on the
         #: historical unguarded path.
         self.containment: "ContainmentGuard | None" = None
+        #: The transform memoization plane, installed by the manager
+        #: when a memo policy is configured; ``None`` (the default)
+        #: keeps the read pipeline's memo stage a strict no-op and the
+        #: golden digests byte-identical.
+        self.memo: TransformMemo | None = None
+        self.memo_policy: "MemoPolicy | None" = None
 
     # -- instrumentation -----------------------------------------------------
 
@@ -121,7 +133,15 @@ class CacheCore:
         ended_ms: float | None = None,
         **payload,
     ) -> None:
-        """Emit one stage event; timestamps default to *now*."""
+        """Emit one stage event; timestamps default to *now*.
+
+        Fast path: with nothing subscribed, skip the
+        :class:`StageEvent` construction entirely — emission must cost
+        nothing when nobody is listening (the A15 bench notes quantify
+        the per-access saving).
+        """
+        if not self.instrumentation.has_subscribers:
+            return
         now = self.ctx.clock.now_ms
         self.instrumentation.emit(
             StageEvent(
@@ -176,7 +196,10 @@ class CacheCore:
         if existing is not None:
             self.remove_entry(existing)
 
-        signature = self.store.put(content)
+        # Sign once: the signature feeds the store (which would
+        # otherwise re-hash the same bytes) and the transform memo.
+        signature = sign(content)
+        self.store.put_signed(content, signature)
         self.evict_to_capacity(protect=key)
         now = self.ctx.clock.now_ms
         entry = CacheEntry(
@@ -290,15 +313,95 @@ class CacheCore:
         Computable from property metadata alone — no content fetch — so
         a cache can predict whether another user's cached bytes apply.
         """
-        chain = (
-            reference.base.stream_chain(EventType.GET_INPUT_STREAM)
-            + reference.stream_chain(EventType.GET_INPUT_STREAM)
-        )
         return tuple(
             signature
-            for signature in (p.transform_signature() for p in chain)
+            for signature in (
+                p.transform_signature()
+                for p in read_chain_properties(reference)
+            )
             if signature is not None
         )
+
+    # -- transform memoization -------------------------------------------------
+
+    def memo_record_output(
+        self,
+        fingerprint: ChainFingerprint | None,
+        meta,
+        entry: CacheEntry,
+    ) -> None:
+        """Admission hook: memoize a freshly admitted transform output.
+
+        Only called for undegraded, admitted fills; a ``None``
+        fingerprint means the memo stage never consulted (memo off, or
+        the chain was containment-blocked) and nothing is recorded.
+        """
+        if self.memo is None or fingerprint is None:
+            return
+        if meta.source_signature is None:
+            return
+        evicted = self.memo.record(
+            MemoRecord(
+                source_signature=meta.source_signature,
+                fingerprint=fingerprint,
+                output_signature=entry.signature,
+                document_id=entry.document_id,
+                size=entry.size,
+                cacheability=entry.cacheability,
+                verifiers=tuple(entry.verifiers),
+                verifier_fingerprints=tuple(
+                    verifier.fingerprint() for verifier in entry.verifiers
+                ),
+                replacement_cost_ms=entry.replacement_cost_ms,
+                chain_signature=entry.chain_signature,
+                pin=entry.pinned,
+            )
+        )
+        self.emit("memo", "recorded", key=entry.key)
+        if evicted:
+            self.emit("memo", "evicted", records=evicted)
+
+    def memo_record_negative(
+        self,
+        fingerprint: ChainFingerprint | None,
+        key: EntryKey,
+        meta,
+    ) -> None:
+        """Admission hook: negative-cache an UNCACHEABLE-voting chain."""
+        if self.memo is None or fingerprint is None:
+            return
+        policy = self.memo_policy
+        if policy is None or not policy.negative_cache:
+            return
+        if meta.source_signature is None:
+            return
+        evicted = self.memo.record(
+            MemoRecord(
+                source_signature=meta.source_signature,
+                fingerprint=fingerprint,
+                output_signature=None,
+                document_id=key.document_id,
+                cacheability=meta.cacheability,
+                chain_signature=meta.chain_signature,
+            )
+        )
+        self.emit("memo", "negative-recorded", key=key)
+        if evicted:
+            self.emit("memo", "evicted", records=evicted)
+
+    def memo_purge(self, origin: str) -> int:
+        """Drop every memo record (resync/crash/explicit); returns count.
+
+        Silent when the memo is off or already empty; otherwise emits
+        one ``memo``/``purged`` event carrying the record count and the
+        purge origin.
+        """
+        if self.memo is None:
+            return 0
+        purged = self.memo.purge_all()
+        if purged:
+            self.emit("memo", "purged", records=purged, origin=origin)
+        return purged
 
     def is_stale(
         self, reference: "DocumentReference", entry: CacheEntry

@@ -49,6 +49,7 @@ STAGE_ORDER = (
     "lookup",
     "verifier-gate",
     "adoption",
+    "memo",
     "fetch",
     "degradation",
     "admission",
@@ -73,9 +74,14 @@ STAGE_ORDER = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StageEvent:
-    """One structured observation emitted by a cache stage."""
+    """One structured observation emitted by a cache stage.
+
+    A hot type: one is built per observable step of every access, so it
+    is slotted (no per-instance ``__dict__``) and emit sites skip
+    construction entirely when the bus has no subscribers.
+    """
 
     stage: str
     outcome: str
@@ -97,6 +103,19 @@ class InstrumentationBus:
     def __init__(self) -> None:
         self._subscribers: list[Callable[[StageEvent], None]] = []
 
+    @property
+    def has_subscribers(self) -> bool:
+        """True when at least one subscriber would receive an emit.
+
+        Emit sites consult this *before* constructing a
+        :class:`StageEvent`, so an unobserved bus costs one attribute
+        load and a truth test per would-be event.
+        """
+        return bool(self._subscribers)
+
+    def __bool__(self) -> bool:
+        return bool(self._subscribers)
+
     def subscribe(self, subscriber: Callable[[StageEvent], None]) -> None:
         """Register a subscriber; it runs inline on every emit."""
         self._subscribers.append(subscriber)
@@ -112,7 +131,7 @@ class InstrumentationBus:
             subscriber(event)
 
 
-@dataclass
+@dataclass(slots=True)
 class StageCell:
     """Aggregate for one (stage, outcome) pair."""
 

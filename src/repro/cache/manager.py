@@ -31,6 +31,7 @@ from repro.cache.instrumentation import (
     StageRecorder,
     StatsProjection,
 )
+from repro.cache.memo import MemoStats, MemoStatsProjection, TransformMemo
 from repro.cache.notifiers import InvalidationBus
 from repro.cache.pipeline import (
     CacheReadOutcome,
@@ -44,6 +45,7 @@ from repro.cache.policies import (
     DefaultDegradationPolicy,
     DegradationPolicy,
     GreedyDualSizePolicy,
+    MemoPolicy,
     RecoveryPolicy,
     ReplacementPolicy,
     VoteAdmissionPolicy,
@@ -140,6 +142,16 @@ class DocumentCache:
         per-role fallback (skip / force-miss / deny) when a breaker is
         open.  ``None`` (the default) keeps every property-code seam on
         its historical unguarded path.
+    memo_policy:
+        Opt-in transform memoization
+        (:class:`~repro.cache.policies.MemoPolicy`, e.g.
+        :class:`~repro.cache.policies.DefaultMemoPolicy`): a bounded
+        ``(source signature, chain fingerprint) → output signature``
+        memo consulted between adoption and fetch, so a miss whose
+        source bytes and transformation chain match a previous fill is
+        answered by signature adoption instead of a provider fetch plus
+        chain execution.  ``None`` (the default) keeps the miss path
+        byte-identical to the pre-memo pipeline.
     """
 
     def __init__(
@@ -166,6 +178,7 @@ class DocumentCache:
         instrumentation: InstrumentationBus | None = None,
         recovery_policy: RecoveryPolicy | None = None,
         containment_policy: ContainmentPolicy | None = None,
+        memo_policy: MemoPolicy | None = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise CacheCapacityError(
@@ -217,6 +230,12 @@ class DocumentCache:
             )
             self._core.containment = self._containment
             ctx.containment = self._containment
+        self._memo_stats: MemoStatsProjection | None = None
+        if memo_policy is not None:
+            self._core.memo_policy = memo_policy
+            self._core.memo = TransformMemo(memo_policy.capacity)
+            self._memo_stats = MemoStatsProjection()
+            self.instrumentation.subscribe(self._memo_stats)
         self._recovery: ConsistencyRecoveryManager | None = None
         if recovery_policy is not None:
             self._recovery = ConsistencyRecoveryManager(
@@ -473,6 +492,25 @@ class DocumentCache:
             self._containment.stats if self._containment is not None else None
         )
 
+    # -- transform memoization -------------------------------------------------
+
+    @property
+    def memo(self) -> TransformMemo | None:
+        """The transform memo table, when a memo policy is set."""
+        return self._core.memo
+
+    @property
+    def memo_policy(self) -> MemoPolicy | None:
+        """The memo policy, when one is set."""
+        return self._core.memo_policy
+
+    @property
+    def memo_stats(self) -> MemoStats | None:
+        """Memo-plane counters (``None`` without a memo policy)."""
+        return (
+            self._memo_stats.stats if self._memo_stats is not None else None
+        )
+
     # -- consistency recovery --------------------------------------------------
 
     @property
@@ -514,6 +552,9 @@ class DocumentCache:
             core.remove_entry(entry)
         core.dirty.clear()
         self._prefetch_queue.clear()
+        # The memo is volatile state too: a record that survived the
+        # crash could map onto content-store bytes that did not.
+        core.memo_purge("crash")
         if self._recovery is not None:
             self._recovery.on_crash()
 

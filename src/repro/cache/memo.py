@@ -1,0 +1,295 @@
+"""The transform memoization plane: chain fingerprints + output memo.
+
+The paper's per-(document, user) entries indirect through an MD5 content
+signature, "enabling sharing of identical transformed content between
+users" (§3) — but that sharing happens at *storage* time only: every
+miss still re-executes the full active-property chain, even when another
+user's miss already produced byte-identical output from the same source
+bytes and the same chain.  Vcache makes the matching observation for
+dynamic documents: cache the generator's output keyed by its *inputs*.
+
+This module supplies the two data structures behind the pipeline's
+``MemoStage``:
+
+* :class:`ChainFingerprint` — a stable, order-sensitive digest of one
+  read path's transformation chain.  Every property contributes a
+  ``fingerprint()`` covering its code identity, configuration and
+  version; composing them *with their position* makes the fingerprint
+  sensitive to the paper's invalidation class (c): the same properties
+  reordered produce a different fingerprint.
+* :class:`TransformMemo` — a bounded LRU table mapping
+  ``(source signature, chain fingerprint) → output signature`` plus the
+  fill metadata needed to rebuild a cache entry.  A second user's miss
+  with a recorded pair becomes a signature-only
+  :meth:`~repro.content.store.ContentStore.adopt` instead of a provider
+  fetch and a chain execution.  The table holds *no* content-store
+  references of its own (refcount-aware by construction): a record whose
+  output bytes have been evicted is detected at consult time and pruned.
+
+The four §3 invalidation classes map onto the memo as follows:
+
+(a) **source changes** — records are keyed by the *current* source
+    signature (probed at consult time), so a changed source simply never
+    matches; stale keys age out of the LRU.
+(b) **property add/delete/modify** — any change to the chain's members
+    changes the composed fingerprint, so stale records never match.
+(c) **property reordering** — fingerprints are position-indexed, so a
+    permuted chain changes the key the same way.
+(d) **external conditions (verifiers)** — a record carrying verifiers is
+    re-verified before it is served (or bypassed entirely, per
+    :class:`~repro.cache.policies.MemoPolicy`); chains voting
+    UNCACHEABLE are negative-cached so repeated misses skip the lookup
+    machinery without ever serving from the memo.
+
+Recovery and containment integrate at the edges: an anti-entropy resync
+purges the whole table (a resync exists precisely because cached state
+is suspect), a cache crash discards it with the rest of volatile state,
+and a tripped breaker on any chain property bypasses the memo for that
+document (the recorded output was produced by code that is currently
+quarantined).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple
+
+from repro.cache.cacheability import Cacheability
+from repro.streams.chain import read_chain_properties
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.instrumentation import StageEvent
+    from repro.cache.verifiers import Verifier
+    from repro.content.signature import ContentSignature
+    from repro.ids import DocumentId
+    from repro.placeless.reference import DocumentReference
+
+__all__ = [
+    "ChainFingerprint",
+    "fingerprint_reference",
+    "MemoRecord",
+    "TransformMemo",
+    "MemoStats",
+    "MemoStatsProjection",
+]
+
+
+class ChainFingerprint(NamedTuple):
+    """Order-sensitive digest of one read path's transformation chain."""
+
+    digest: str
+
+    @classmethod
+    def compose(cls, fingerprints: Iterable[str]) -> "ChainFingerprint":
+        """Fold per-property fingerprints, tagged with their position.
+
+        Position tagging is what makes the paper's invalidation class
+        (c) observable: ``[a, b]`` and ``[b, a]`` compose differently
+        even though the member set is identical.
+        """
+        hasher = hashlib.md5()
+        for position, fingerprint in enumerate(fingerprints):
+            hasher.update(f"{position}:{fingerprint}\n".encode())
+        return cls(hasher.hexdigest())
+
+    @property
+    def short(self) -> str:
+        """Abbreviated digest for traces."""
+        return self.digest[:8]
+
+
+def fingerprint_reference(
+    reference: "DocumentReference",
+) -> ChainFingerprint:
+    """The chain fingerprint *reference*'s read path would produce.
+
+    Computed from property metadata alone — no content fetch, no chain
+    execution — over the same base-then-reference chain order the read
+    path executes (§2), so it is a per-(document, user) key: two users
+    of one document with identical chains fingerprint identically.
+    """
+    return ChainFingerprint.compose(
+        prop.fingerprint() for prop in read_chain_properties(reference)
+    )
+
+
+@dataclass(slots=True)
+class MemoRecord:
+    """One memoized ``(source, chain) → output`` mapping.
+
+    ``output_signature`` of ``None`` marks a *negative* record: the
+    chain voted UNCACHEABLE for this source, so the pipeline should not
+    bother consulting candidates or recording again — it falls straight
+    through to the fetch path.
+    """
+
+    source_signature: "ContentSignature"
+    fingerprint: ChainFingerprint
+    output_signature: "ContentSignature | None"
+    document_id: "DocumentId | None" = None
+    size: int = 0
+    cacheability: Cacheability = Cacheability.UNRESTRICTED
+    verifiers: tuple["Verifier", ...] = ()
+    verifier_fingerprints: tuple[str, ...] = ()
+    replacement_cost_ms: float = 0.0
+    chain_signature: tuple[str, ...] = ()
+    pin: bool = False
+
+    @property
+    def key(self) -> tuple["ContentSignature", ChainFingerprint]:
+        """The memo-table key of this record."""
+        return (self.source_signature, self.fingerprint)
+
+    @property
+    def is_negative(self) -> bool:
+        """True for the UNCACHEABLE negative-cache sentinel."""
+        return self.output_signature is None
+
+
+class TransformMemo:
+    """Bounded LRU ``(source signature, chain fingerprint) → record``.
+
+    The table stores signatures, never bytes, and takes no content-store
+    references: output bytes stay alive only while some cache entry
+    still references them.  The consult path checks membership in the
+    store before serving and prunes dead records, which is what keeps
+    the memo refcount-aware without a second accounting scheme.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"memo capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._records: OrderedDict[
+            tuple["ContentSignature", ChainFingerprint], MemoRecord
+        ] = OrderedDict()
+        #: Records displaced by the LRU bound since construction.
+        self.evictions = 0
+
+    def lookup(
+        self,
+        source_signature: "ContentSignature",
+        fingerprint: ChainFingerprint,
+    ) -> MemoRecord | None:
+        """The live record for the pair, freshened in LRU order."""
+        record = self._records.get((source_signature, fingerprint))
+        if record is not None:
+            self._records.move_to_end((source_signature, fingerprint))
+        return record
+
+    def record(self, record: MemoRecord) -> int:
+        """Insert (or refresh) *record*; returns LRU evictions made."""
+        self._records[record.key] = record
+        self._records.move_to_end(record.key)
+        evicted = 0
+        while len(self._records) > self.capacity:
+            self._records.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def discard(self, record: MemoRecord) -> None:
+        """Forget one record (no-op when already gone)."""
+        self._records.pop(record.key, None)
+
+    def purge_all(self) -> int:
+        """Drop every record; returns how many were dropped."""
+        purged = len(self._records)
+        self._records.clear()
+        return purged
+
+    def purge_document(self, document_id: "DocumentId") -> int:
+        """Drop every record attributed to one document."""
+        doomed = [
+            key
+            for key, record in self._records.items()
+            if record.document_id == document_id
+        ]
+        for key in doomed:
+            del self._records[key]
+        return len(doomed)
+
+    def records(self) -> list[MemoRecord]:
+        """All live records, LRU order (oldest first); for inspection."""
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(
+        self, key: tuple["ContentSignature", ChainFingerprint]
+    ) -> bool:
+        return key in self._records
+
+
+@dataclass(slots=True)
+class MemoStats:
+    """Counters derived from ``memo`` stage events."""
+
+    #: Misses served from the memo (each one is a provider fetch plus a
+    #: full chain execution that did not happen).
+    adoptions: int = 0
+    #: Consults that found no record and fell through to the fetch path.
+    misses: int = 0
+    #: Consults answered by the UNCACHEABLE negative-cache sentinel.
+    negative_hits: int = 0
+    #: Output records written at admission time.
+    records: int = 0
+    #: Negative (UNCACHEABLE) records written at admission time.
+    negative_records: int = 0
+    #: Consults skipped because a chain property's breaker is open.
+    contained_bypasses: int = 0
+    #: Verifier-gated records skipped because the policy declines to
+    #: re-verify at serve time.
+    verifier_bypasses: int = 0
+    #: Records pruned because their output bytes left the content store.
+    dead_drops: int = 0
+    #: Records pruned because a verifier failed at serve time.
+    verifier_drops: int = 0
+    #: Records removed by purges (resync, crash, explicit).
+    purged: int = 0
+    #: Records displaced by the LRU capacity bound.
+    evictions: int = 0
+
+    @property
+    def chain_executions_avoided(self) -> int:
+        """The headline A15 metric: one adoption = one chain not run."""
+        return self.adoptions
+
+    @property
+    def consults(self) -> int:
+        """Total lookups that reached the memo table."""
+        return self.adoptions + self.misses + self.negative_hits
+
+
+class MemoStatsProjection:
+    """Instrumentation subscriber deriving :class:`MemoStats`."""
+
+    _COUNTERS = {
+        "adopted": "adoptions",
+        "missed": "misses",
+        "negative-hit": "negative_hits",
+        "recorded": "records",
+        "negative-recorded": "negative_records",
+        "bypass-contained": "contained_bypasses",
+        "bypass-verifier": "verifier_bypasses",
+        "dropped-dead": "dead_drops",
+        "dropped-verifier": "verifier_drops",
+    }
+
+    def __init__(self, stats: MemoStats | None = None) -> None:
+        self.stats = stats if stats is not None else MemoStats()
+
+    def __call__(self, event: "StageEvent") -> None:
+        if event.stage != "memo":
+            return
+        counter = self._COUNTERS.get(event.outcome)
+        if counter is not None:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        elif event.outcome == "purged":
+            self.stats.purged += event.payload.get("records", 0)
+        elif event.outcome == "evicted":
+            self.stats.evictions += event.payload.get("records", 0)

@@ -3,7 +3,7 @@
 A read is a fixed sequence of small stages, each a class with one
 ``run(ctx)`` method over a shared typed :class:`ReadContext`:
 
-    dirty-flush → lookup → verifier-gate → adoption → fetch →
+    dirty-flush → lookup → verifier-gate → adoption → memo → fetch →
     degradation → admission
 
 A stage returns ``None`` to pass the context on, or a terminal result
@@ -29,12 +29,16 @@ import typing
 from dataclasses import dataclass
 
 from repro.cache.consistency import InvalidationReason
+from repro.cache.containment import BreakerState
 from repro.cache.core import ADOPTION_COST_MS, NOTIFIER_INSTALL_COST_MS, CacheCore
 from repro.cache.entry import CacheEntry, EntryKey
+from repro.cache.memo import ChainFingerprint
 from repro.cache.notifiers import install_minimum_notifiers
 from repro.cache.policies import AdmissionDecision
 from repro.cache.verifiers import Verdict
+from repro.content.signature import sign
 from repro.errors import CacheError
+from repro.streams.chain import property_site, read_chain_properties
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.placeless.document import PathMeta
@@ -51,6 +55,7 @@ __all__ = [
     "LookupStage",
     "VerifierGateStage",
     "AdoptionStage",
+    "MemoStage",
     "FetchStage",
     "DegradationStage",
     "AdmissionStage",
@@ -75,10 +80,11 @@ class CacheReadOutcome:
     hit: bool
     elapsed_ms: float
     #: "hit", "revalidated", "miss", "miss-verifier", "miss-invalidated",
-    #: "uncacheable", "miss-oversize", "miss-adopted", or a degraded
-    #: mode: "stale-on-error" (bounded stale bytes served because the
-    #: refetch failed) / "miss-degraded" (fetched past a failed backing
-    #: level).
+    #: "uncacheable", "miss-oversize", "miss-adopted", "miss-memoized"
+    #: (served by the transform memo: signature adoption, no chain
+    #: execution), or a degraded mode: "stale-on-error" (bounded stale
+    #: bytes served because the refetch failed) / "miss-degraded"
+    #: (fetched past a failed backing level).
     disposition: str
 
     @property
@@ -116,6 +122,11 @@ class ReadContext:
     degraded: bool = False
     #: The fetch failure awaiting the degradation stage's decision.
     fetch_error: BaseException | None = None
+    #: The chain fingerprint the memo stage computed for this read;
+    #: ``None`` when the memo is off or the chain was not consultable
+    #: (e.g. containment-blocked), in which case admission records
+    #: nothing.
+    memo_fingerprint: ChainFingerprint | None = None
 
 
 @dataclass
@@ -411,6 +422,163 @@ class AdoptionStage:
         return True
 
 
+class MemoStage:
+    """Transform memoization: answer a miss from the
+    ``(source signature, chain fingerprint) → output signature`` memo.
+
+    Sits between adoption and fetch: an adoption needs another user's
+    *live* entry, while the memo remembers what an identical chain
+    produced from identical source bytes even after every entry for it
+    is gone.  A memo serve is a metadata-only exchange — one
+    source-signature probe, the local hop, a
+    :meth:`~repro.content.store.ContentStore.adopt` — with no provider
+    fetch and no property-chain execution.
+
+    The stage is a strict no-op when no memo policy is configured, so
+    the default pipeline stays byte-identical to the pre-memo one.
+    Consults participate in all four §3 invalidation classes (see
+    :mod:`repro.cache.memo`) and respect the containment layer: an open
+    breaker on any chain property bypasses the memo, because the
+    recorded output was produced by code that is currently quarantined.
+    """
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: ReadContext):
+        core = self.core
+        memo = core.memo
+        if memo is None:
+            return None
+        chain = read_chain_properties(ctx.reference)
+        guard = core.containment
+        if guard is not None and self._chain_blocked(guard, ctx.key, chain):
+            core.emit("memo", "bypass-contained", key=ctx.key)
+            return None
+        fingerprint = ChainFingerprint.compose(
+            prop.fingerprint() for prop in chain
+        )
+        # Admission records under this fingerprint if the miss proceeds.
+        ctx.memo_fingerprint = fingerprint
+        # Metadata-only probe of the repository's current source
+        # signature — invalidation class (a): a changed source never
+        # matches a stale record.
+        assert core.memo_policy is not None
+        core.ctx.charge(core.memo_policy.probe_cost_ms)
+        source_signature = sign(ctx.reference.base.provider.peek())
+        record = memo.lookup(source_signature, fingerprint)
+        if record is None:
+            core.emit("memo", "missed", key=ctx.key)
+            return None
+        if record.is_negative:
+            # Classes (b)/(d): this chain votes UNCACHEABLE for this
+            # source — skip straight to the fetch path.
+            core.emit("memo", "negative-hit", key=ctx.key)
+            return None
+        if record.output_signature not in core.store:
+            # Refcount-awareness: the recorded output's bytes left the
+            # store with the last referencing entry; prune and refetch.
+            memo.discard(record)
+            core.emit("memo", "dropped-dead", key=ctx.key)
+            return None
+        content = core.store.get(record.output_signature)
+        if core.use_verifiers and record.verifiers:
+            if not core.memo_policy.verify_on_serve:
+                core.emit("memo", "bypass-verifier", key=ctx.key)
+                return None
+            if not self._record_fresh(ctx.key, record, content):
+                # Class (d): an external condition gated this record
+                # and no longer holds — the memo must not serve it.
+                memo.discard(record)
+                core.emit("memo", "dropped-verifier", key=ctx.key)
+                return None
+        return self._serve(ctx, record, content)
+
+    @staticmethod
+    def _chain_blocked(guard, key: EntryKey, chain) -> bool:
+        """True when any chain property's wrapper breaker is open.
+
+        Peeks rather than gets: a memo consult must neither create
+        breakers nor consume half-open probe slots — probing is the
+        fetch path's job.
+        """
+        for prop in chain:
+            breaker = guard.wrappers.peek(
+                (key.document_id, property_site(prop))
+            )
+            if breaker is not None and breaker.state is BreakerState.OPEN:
+                return True
+        return False
+
+    def _record_fresh(self, key: EntryKey, record, content: bytes) -> bool:
+        """Re-run a record's verifiers before serving its output."""
+        core = self.core
+        for verifier in record.verifiers:
+            verifier_started_ms = core.ctx.clock.now_ms
+            core.ctx.charge(verifier.cost_ms)
+            core.emit(
+                "verifier", "executed", key=key,
+                started_ms=verifier_started_ms,
+                cost_ms=verifier.cost_ms,
+            )
+            try:
+                result = verifier.run(core.ctx.clock.now_ms, content)
+            except Exception:
+                return False
+            if result.verdict is not Verdict.VALID:
+                return False
+        return True
+
+    def _serve(self, ctx: ReadContext, record, content: bytes):
+        """Adopt the recorded output signature and build the entry."""
+        core = self.core
+        key = ctx.key
+        # Metadata exchange only, as in adoption: the local hop with no
+        # content moving, plus the signature-mapping handshake.
+        for hop in core.topology.hit_path():
+            core.ctx.charge_hop(hop, 0)
+        core.ctx.charge(ADOPTION_COST_MS)
+        core.store.adopt(record.output_signature)
+        existing = core.entries.get(key)
+        if existing is not None:
+            core.remove_entry(existing)
+        now = core.ctx.clock.now_ms
+        entry = CacheEntry(
+            key=key,
+            signature=record.output_signature,
+            size=record.size,
+            cacheability=record.cacheability,
+            verifiers=list(record.verifiers),
+            replacement_cost_ms=record.replacement_cost_ms,
+            chain_signature=record.chain_signature,
+            reference_id=ctx.reference.reference_id,
+            created_at_ms=now,
+            last_access_ms=now,
+        )
+        entry.pinned = record.pin
+        entry.policy_state["source_signature"] = record.source_signature
+        core.entries[key] = entry
+        core.policy.on_insert(entry)
+        if core.install_notifiers:
+            installed = install_minimum_notifiers(
+                ctx.reference, core.bus, core.cache_id
+            )
+            core.ctx.charge(NOTIFIER_INSTALL_COST_MS * len(installed))
+        if core.recovery is not None:
+            core.recovery.note_reference(key, ctx.reference)
+        core.emit("memo", "adopted", key=key)
+        core.emit(
+            "read", "miss-memoized", key=key, started_ms=ctx.started_ms,
+        )
+        if ctx.for_fill:
+            return (content, core.meta_from_entry(entry))
+        elapsed = core.ctx.clock.now_ms - ctx.started_ms
+        return CacheReadOutcome(
+            content=content, hit=False, elapsed_ms=elapsed,
+            disposition="miss-memoized",
+        )
+
+
 class FetchStage:
     """Full read through the level below, under the retry policy.
 
@@ -545,12 +713,17 @@ class AdmissionStage:
         if decision is AdmissionDecision.UNCACHEABLE:
             core.emit("admission", "uncacheable", key=ctx.key)
             disposition = "uncacheable"
+            core.memo_record_negative(ctx.memo_fingerprint, ctx.key, meta)
         elif decision is AdmissionDecision.OVERSIZE:
             core.emit("admission", "oversize", key=ctx.key)
             disposition = "miss-oversize"
         else:
-            core.fill(ctx.reference, ctx.key, content, meta)
+            entry = core.fill(ctx.reference, ctx.key, content, meta)
             core.emit("admission", "filled", key=ctx.key, bytes=len(content))
+            if not ctx.degraded:
+                # A degraded fill (containment skip or backing bypass)
+                # ran a partial chain — its output must not be memoized.
+                core.memo_record_output(ctx.memo_fingerprint, meta, entry)
         core.emit(
             "read", disposition, key=ctx.key, started_ms=ctx.started_ms
         )
@@ -573,6 +746,7 @@ class ReadPipeline:
             LookupStage(core),
             VerifierGateStage(core),
             AdoptionStage(core),
+            MemoStage(core),
             FetchStage(core),
             DegradationStage(core),
             AdmissionStage(core),

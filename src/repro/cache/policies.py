@@ -46,6 +46,8 @@ __all__ = [
     "DefaultDegradationPolicy",
     "ContainmentPolicy",
     "DefaultContainmentPolicy",
+    "MemoPolicy",
+    "DefaultMemoPolicy",
     "RecoveryPolicy",
     "DefaultRecoveryPolicy",
     "ReplacementPolicy",
@@ -195,6 +197,72 @@ class DefaultContainmentPolicy:
         if role == "required":
             return "deny" if self.deny_required else "force-miss"
         return "deny" if self.deny_optional else "skip"
+
+
+@runtime_checkable
+class MemoPolicy(Protocol):
+    """Configuration seam for the transform memoization plane.
+
+    A cache constructed with a memo policy gets a bounded
+    :class:`~repro.cache.memo.TransformMemo` consulted by the read
+    pipeline's memo stage: a miss whose ``(current source signature,
+    chain fingerprint)`` pair was recorded by an earlier admission is
+    answered with a signature-only adoption instead of a provider fetch
+    plus a full property-chain execution.  ``None`` (the default) keeps
+    the stage a strict no-op and the cache byte-identical to its
+    unmemoized behaviour.
+    """
+
+    #: Maximum records the memo table holds (LRU beyond that).
+    capacity: int
+    #: Virtual cost of probing the repository's current source
+    #: signature at consult time (a metadata-only exchange, the memo's
+    #: analogue of the adoption handshake).
+    probe_cost_ms: float
+    #: Re-run a record's verifiers before serving it (the paper's
+    #: class-(d) external conditions); ``False`` bypasses the memo for
+    #: verifier-gated records instead of trusting them unverified.
+    verify_on_serve: bool
+    #: Remember UNCACHEABLE-voting chains so repeated misses skip the
+    #: candidate machinery without ever serving from the memo.
+    negative_cache: bool
+
+
+class DefaultMemoPolicy:
+    """Transform memoization with sensible bounds, off unless supplied.
+
+    Parameters
+    ----------
+    capacity:
+        LRU bound on the number of memo records.
+    probe_cost_ms:
+        Virtual cost charged per memo consult for the source-signature
+        probe (compare ``ADOPTION_COST_MS``; both are metadata-only
+        exchanges).
+    verify_on_serve:
+        Re-run recorded verifiers before serving a memoized output
+        (default) instead of bypassing verifier-gated records.
+    negative_cache:
+        Negative-cache UNCACHEABLE-voting chains (default on).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        probe_cost_ms: float = 0.2,
+        verify_on_serve: bool = True,
+        negative_cache: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise CacheError(f"memo capacity must be >= 1: {capacity}")
+        if probe_cost_ms < 0:
+            raise CacheError(
+                f"probe_cost_ms must be non-negative: {probe_cost_ms}"
+            )
+        self.capacity = capacity
+        self.probe_cost_ms = probe_cost_ms
+        self.verify_on_serve = verify_on_serve
+        self.negative_cache = negative_cache
 
 
 @runtime_checkable

@@ -495,6 +495,10 @@ class ConsistencyRecoveryManager:
         """
         core = self.core
         core.emit("resync", "started", entries=len(core.entries))
+        # A resync runs because this cache suspects it missed
+        # invalidations — the memo's records are under the same
+        # suspicion, so none of them may answer a miss afterwards.
+        core.memo_purge("resync")
         repairs = 0
         for key, entry in list(core.entries.items()):
             reference = self._reference_for(entry)

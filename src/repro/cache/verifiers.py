@@ -95,6 +95,21 @@ class Verifier(abc.ABC):
         self.cost_ms = cost_ms
         self.executions = 0
 
+    def fingerprint(self) -> str:
+        """Stable identity of this verifier's code + configuration.
+
+        Recorded alongside memoized transform outputs (see
+        :mod:`repro.cache.memo`) so a record can report *which* checks
+        gate it; covers code identity, the invalidation label and the
+        per-hit cost.  Subclasses with extra configuration that changes
+        their verdict behaviour may extend the string.
+        """
+        cls = type(self)
+        return (
+            f"{cls.__module__}.{cls.__qualname__}"
+            f"/{self.invalidation_label}/{self.cost_ms}"
+        )
+
     def run(self, now_ms: float, content: bytes) -> VerifierResult:
         """Execute the verifier, tracking execution count.
 

@@ -55,6 +55,28 @@ class ContentStore:
         stored.refcount += 1
         return signature
 
+    def put_signed(
+        self, content: bytes, signature: ContentSignature
+    ) -> ContentSignature:
+        """:meth:`put`, with a signature the caller already computed.
+
+        The admission path signs fetched bytes once and feeds the same
+        signature to both the store and the transform memo; re-hashing
+        here would double the per-fill digest work.  The caller's
+        promise that ``signature == sign(content)`` is checked under
+        ``__debug__`` only (run ``python -O`` for the production path).
+        """
+        assert signature == sign(content), (
+            f"put_signed: signature {signature.short} does not match "
+            "the supplied content"
+        )
+        stored = self._by_signature.get(signature)
+        if stored is None:
+            stored = StoredContent(signature=signature, content=bytes(content))
+            self._by_signature[signature] = stored
+        stored.refcount += 1
+        return signature
+
     def adopt(self, signature: ContentSignature) -> None:
         """Add a reference to already-stored content (signature-only hit)."""
         self._entry(signature).refcount += 1

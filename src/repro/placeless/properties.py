@@ -241,6 +241,34 @@ class ActiveProperty(Property):
             return None
         return f"{type(self).__name__}/{self.name}/v{self.version}"
 
+    def fingerprint_config(self) -> str:
+        """Configuration that affects this property's read-path output.
+
+        Subclasses whose transformation depends on constructor state
+        beyond ``name``/``version`` (a target language, a summary
+        length, a threshold) return a stable rendering of it here so
+        two differently-configured instances of the same class
+        fingerprint differently.  Default: no extra configuration.
+        """
+        return ""
+
+    def fingerprint(self) -> str:
+        """Stable identity of this property for chain fingerprinting.
+
+        Covers code identity (the fully-qualified class), the attachment
+        name, the release version (so :meth:`upgrade` — the paper's
+        MODIFY_PROPERTY case — changes it) and any
+        :meth:`fingerprint_config`.  Position in the chain is *not*
+        included here; :meth:`ChainFingerprint.compose
+        <repro.cache.memo.ChainFingerprint.compose>` tags positions when
+        folding, which is what makes reordering observable (invalidation
+        class (c)).
+        """
+        cls = type(self)
+        base = f"{cls.__module__}.{cls.__qualname__}/{self.name}/v{self.version}"
+        config = self.fingerprint_config()
+        return f"{base}?{config}" if config else base
+
     # -- modification ------------------------------------------------------------
 
     def upgrade(self, new_version: int | None = None) -> None:

@@ -14,6 +14,7 @@ from repro.bench.chains import run_chain_latency
 from repro.bench.containment import run_availability, run_recovery
 from repro.bench.collections import run_collections
 from repro.bench.external import run_external_placement
+from repro.bench.memo import run_memo
 from repro.bench.notifier_verifier import run_notifier_verifier
 from repro.bench.placement import run_placement
 from repro.bench.qos import run_qos
@@ -284,3 +285,29 @@ class TestA14Containment:
         assert r.closes == r.open_after_faults
         assert r.recovered_degraded_reads == 0
         assert r.recovered_failures == 0
+
+
+class TestMemoization:
+    """A15: chain executions avoided once users share a chain."""
+
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return {
+            memo: run_memo(8, memo, n_documents=4)
+            for memo in (False, True)
+        }
+
+    def test_memo_off_executes_every_chain(self, cells):
+        baseline = cells[False]
+        assert baseline.chain_executions == baseline.reads
+        assert baseline.chain_executions_avoided == 0
+
+    def test_memo_on_executes_once_per_distinct_pair(self, cells):
+        memoized = cells[True]
+        assert memoized.chain_executions == memoized.n_documents
+        assert memoized.avoided_pct == pytest.approx(1 - 1 / 8)
+        assert memoized.memo_adoptions == memoized.chain_executions_avoided
+
+    def test_memoized_misses_are_cheaper(self, cells):
+        assert cells[True].mean_ms < cells[False].mean_ms
+        assert cells[True].p50_ms < cells[False].p50_ms

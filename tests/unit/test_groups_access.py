@@ -245,7 +245,7 @@ class TestCLIRouting:
             "table1", "a1", "a2", "a3", "a4", "a5",
             "a6", "a7", "a8", "a9", "a10", "a11",
             "a12", "faults", "a13", "recovery",
-            "a14", "containment",
+            "a14", "containment", "a15", "memo",
         }
         for module_name in _EXPERIMENT_MODULES.values():
             module = importlib.import_module(module_name)

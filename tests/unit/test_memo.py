@@ -1,0 +1,430 @@
+"""Unit tests for the transform memoization plane.
+
+Covers the chain-fingerprint protocol (all four §3 invalidation
+classes), the bounded refcount-aware memo table, the admission fast
+path (``put_signed``), the instrumentation fast path, and the memo
+stage end-to-end: a second user's miss becomes a signature adoption
+with no provider fetch and no chain execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.instrumentation import InstrumentationBus, StageEvent
+from repro.cache.manager import DocumentCache
+from repro.cache.memo import (
+    ChainFingerprint,
+    MemoRecord,
+    MemoStats,
+    TransformMemo,
+    fingerprint_reference,
+)
+from repro.cache.policies import (
+    DefaultContainmentPolicy,
+    DefaultMemoPolicy,
+    DefaultRecoveryPolicy,
+)
+from repro.content.signature import sign
+from repro.content.store import ContentStore
+from repro.errors import CacheError
+from repro.placeless.kernel import PlacelessKernel
+from repro.properties.spellcheck import SpellingCorrectorProperty
+from repro.properties.translate import TranslationProperty
+from repro.properties.uncacheable import UncacheableProperty
+from repro.providers.memory import MemoryProvider
+from repro.streams.chain import property_site
+
+
+def build_world(content=b"hello world of documents", n_users=2):
+    """A kernel, one document, and one plain reference per user."""
+    kernel = PlacelessKernel()
+    owner = kernel.create_user("owner")
+    base = kernel.create_document(
+        owner, MemoryProvider(kernel.ctx, content), "doc"
+    )
+    references = []
+    for index in range(n_users):
+        user = kernel.create_user(f"user-{index}")
+        references.append(kernel.space(user).add_reference(base))
+    return kernel, base, references
+
+
+def memo_cache(kernel, **kwargs):
+    kwargs.setdefault("memo_policy", DefaultMemoPolicy())
+    return DocumentCache(kernel, capacity_bytes=1 << 20, **kwargs)
+
+
+class TestChainFingerprint:
+    """The fingerprint protocol across the §3 invalidation classes."""
+
+    def test_identical_chains_fingerprint_identically(self):
+        _, _, (ref_a, ref_b) = build_world()
+        ref_a.attach(TranslationProperty())
+        ref_b.attach(TranslationProperty())
+        assert fingerprint_reference(ref_a) == fingerprint_reference(ref_b)
+
+    def test_add_and_delete_change_fingerprint(self):
+        # Class (b): membership changes change the key.
+        _, _, (reference, _) = build_world()
+        plain = fingerprint_reference(reference)
+        prop = reference.attach(TranslationProperty())
+        attached = fingerprint_reference(reference)
+        assert attached != plain
+        reference.detach(prop)
+        assert fingerprint_reference(reference) == plain
+
+    def test_modify_changes_fingerprint(self):
+        # Class (b): an upgraded property is different code.
+        _, _, (reference, _) = build_world()
+        prop = reference.attach(TranslationProperty())
+        before = fingerprint_reference(reference)
+        prop.upgrade()
+        assert fingerprint_reference(reference) != before
+
+    def test_reorder_changes_fingerprint(self):
+        # Class (c): same member set, different order, different key.
+        _, _, (reference, _) = build_world()
+        first = reference.attach(SpellingCorrectorProperty())
+        second = reference.attach(TranslationProperty())
+        before = fingerprint_reference(reference)
+        reference.reorder([second.property_id, first.property_id])
+        assert fingerprint_reference(reference) != before
+
+    def test_configuration_feeds_fingerprint(self):
+        # Same class, same name, same version — only the configuration
+        # hook differs, and that alone must change the fingerprint.
+        class Configured(TranslationProperty):
+            def __init__(self, lang):
+                super().__init__()
+                self.lang = lang
+
+            def fingerprint_config(self):
+                return f"lang={self.lang}"
+
+        assert Configured("de").fingerprint() != Configured("es").fingerprint()
+
+    def test_compose_is_position_sensitive(self):
+        assert ChainFingerprint.compose(["a", "b"]) != (
+            ChainFingerprint.compose(["b", "a"])
+        )
+        assert ChainFingerprint.compose([]) == ChainFingerprint.compose([])
+
+    def test_base_chain_participates(self):
+        # The read path runs base properties then reference properties;
+        # the fingerprint must cover both.
+        _, base, (reference, _) = build_world()
+        before = fingerprint_reference(reference)
+        base.attach(TranslationProperty())
+        assert fingerprint_reference(reference) != before
+
+
+class TestTransformMemo:
+    """The bounded LRU table, in isolation."""
+
+    @staticmethod
+    def _record(tag: str, fingerprint: str = "chain") -> MemoRecord:
+        return MemoRecord(
+            source_signature=sign(f"src-{tag}".encode()),
+            fingerprint=ChainFingerprint.compose([fingerprint]),
+            output_signature=sign(f"out-{tag}".encode()),
+        )
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TransformMemo(0)
+
+    def test_lookup_roundtrip_and_miss(self):
+        memo = TransformMemo(4)
+        record = self._record("a")
+        assert memo.record(record) == 0
+        assert memo.lookup(*record.key) is record
+        assert memo.lookup(sign(b"other"), record.fingerprint) is None
+
+    def test_lru_eviction_prefers_stale_records(self):
+        memo = TransformMemo(2)
+        a, b, c = (self._record(tag) for tag in "abc")
+        memo.record(a)
+        memo.record(b)
+        memo.lookup(*a.key)  # freshen a; b is now the LRU victim
+        assert memo.record(c) == 1
+        assert memo.evictions == 1
+        assert memo.lookup(*b.key) is None
+        assert memo.lookup(*a.key) is a
+
+    def test_discard_and_purge_all(self):
+        memo = TransformMemo(4)
+        a, b = self._record("a"), self._record("b")
+        memo.record(a)
+        memo.record(b)
+        memo.discard(a)
+        memo.discard(a)  # idempotent
+        assert len(memo) == 1
+        assert memo.purge_all() == 1
+        assert len(memo) == 0
+
+    def test_purge_document_is_selective(self):
+        memo = TransformMemo(4)
+        from repro.ids import DocumentId
+
+        doc_a, doc_b = DocumentId("doc-a"), DocumentId("doc-b")
+        a, b = self._record("a"), self._record("b")
+        a.document_id, b.document_id = doc_a, doc_b
+        memo.record(a)
+        memo.record(b)
+        assert memo.purge_document(doc_a) == 1
+        assert memo.lookup(*b.key) is b
+
+
+class TestPutSigned:
+    """Satellite 1: the admission path signs once."""
+
+    def test_matches_put_semantics(self):
+        store = ContentStore()
+        content = b"signed once"
+        signature = sign(content)
+        assert store.put_signed(content, signature) == store.put(content)
+        assert store.refcount(signature) == 2
+        assert store.get(signature) == content
+
+    def test_mismatched_signature_asserts(self):
+        store = ContentStore()
+        with pytest.raises(AssertionError):
+            store.put_signed(b"content", sign(b"different"))
+
+
+class TestInstrumentationFastPath:
+    """Satellite 2: unobserved buses skip event construction."""
+
+    def test_has_subscribers_tracks_subscriptions(self):
+        bus = InstrumentationBus()
+        assert not bus.has_subscribers and not bus
+        sink = []
+        bus.subscribe(sink.append)
+        assert bus.has_subscribers and bus
+        bus.unsubscribe(sink.append)
+        assert not bus.has_subscribers
+
+    def test_stage_event_is_slotted_and_frozen(self):
+        event = StageEvent(stage="read", outcome="hit")
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.stage = "write"
+
+    def test_core_emit_skips_unobserved_bus(self):
+        kernel, _, (reference, _) = build_world()
+        cache = DocumentCache(
+            kernel, capacity_bytes=1 << 20,
+            instrumentation=InstrumentationBus(),
+        )
+        # Strip the projections the manager subscribed so nothing
+        # observes the bus; derived stats must then stay untouched.
+        bus = cache.instrumentation
+        for subscriber in list(bus._subscribers):
+            bus.unsubscribe(subscriber)
+        outcome = cache.read(reference)
+        assert outcome.disposition == "miss"
+        assert cache.stats.misses == 0  # the emit never happened
+
+
+class TestMemoEndToEnd:
+    """The memo stage inside the full read pipeline."""
+
+    def test_second_user_miss_is_memoized(self):
+        kernel, base, (ref_a, ref_b) = build_world()
+        base.attach(TranslationProperty())
+        cache = memo_cache(kernel)
+        reads_before = kernel.stats.reads
+        first = cache.read(ref_a)
+        second = cache.read(ref_b)
+        assert first.disposition == "miss"
+        assert second.disposition == "miss-memoized"
+        assert second.content == first.content
+        assert kernel.stats.reads - reads_before == 1
+        assert cache.memo_stats.chain_executions_avoided == 1
+        # Both entries share the one stored copy of the output bytes.
+        entry = cache.entry_for(ref_b)
+        assert cache.store.refcount(entry.signature) == 2
+        # A memoized serve still counts as a miss in the legacy stats.
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+    def test_memoized_read_is_cheaper_than_chain_execution(self):
+        kernel, base, (ref_a, ref_b) = build_world()
+        base.attach(TranslationProperty())
+        cache = memo_cache(kernel)
+        first = cache.read(ref_a)
+        second = cache.read(ref_b)
+        assert second.elapsed_ms < first.elapsed_ms
+
+    def test_off_by_default(self):
+        kernel, base, (ref_a, ref_b) = build_world()
+        base.attach(TranslationProperty())
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        assert cache.memo is None and cache.memo_stats is None
+        cache.read(ref_a)
+        assert cache.read(ref_b).disposition == "miss"
+
+    def test_source_change_never_matches(self):
+        # Class (a): the consult probes the *current* source signature.
+        kernel, base, (ref_a, ref_b) = build_world()
+        base.attach(TranslationProperty())
+        cache = memo_cache(kernel)
+        cache.read(ref_a)
+        base.provider.mutate_out_of_band(b"rewritten out of band")
+        outcome = cache.read(ref_b)
+        assert outcome.disposition == "miss"
+        assert cache.memo_stats.adoptions == 0
+
+    def test_property_add_changes_key(self):
+        # Class (b): the second user's extra property misses the memo.
+        kernel, base, (ref_a, ref_b) = build_world()
+        base.attach(TranslationProperty())
+        cache = memo_cache(kernel)
+        cache.read(ref_a)
+        ref_b.attach(SpellingCorrectorProperty())
+        assert cache.read(ref_b).disposition == "miss"
+        assert cache.memo_stats.adoptions == 0
+        assert len(cache.memo) == 2  # both chains recorded separately
+
+    def test_reorder_changes_key(self):
+        # Class (c): permuted chains must not share memo records.
+        kernel, base, references = build_world(n_users=2)
+        cache = memo_cache(kernel)
+        spell_a = references[0].attach(SpellingCorrectorProperty())
+        references[0].attach(TranslationProperty())
+        spell_b = references[1].attach(SpellingCorrectorProperty())
+        trans_b = references[1].attach(TranslationProperty())
+        references[1].reorder([trans_b.property_id, spell_b.property_id])
+        cache.read(references[0])
+        assert cache.read(references[1]).disposition == "miss"
+        assert cache.memo_stats.adoptions == 0
+        assert spell_a is not spell_b
+
+    def test_uncacheable_chain_is_negative_cached(self):
+        # Class (d): UNCACHEABLE votes record the negative sentinel and
+        # later consults skip the serve machinery without adopting.
+        kernel, base, (ref_a, ref_b) = build_world()
+        base.attach(UncacheableProperty())
+        cache = memo_cache(kernel)
+        assert cache.read(ref_a).disposition == "uncacheable"
+        assert cache.memo_stats.negative_records == 1
+        assert cache.read(ref_b).disposition == "uncacheable"
+        stats = cache.memo_stats
+        assert stats.negative_hits == 1
+        assert stats.adoptions == 0
+
+    def test_verifier_gated_record_reverified_on_serve(self):
+        kernel, base, (ref_a, ref_b) = build_world()
+        cache = memo_cache(kernel)
+        cache.read(ref_a)
+        executions_before = cache.stats.verifier_executions
+        assert cache.read(ref_b).disposition == "miss-memoized"
+        assert cache.stats.verifier_executions > executions_before
+
+    def test_verify_on_serve_false_bypasses(self):
+        kernel, base, (ref_a, ref_b) = build_world()
+        cache = memo_cache(
+            kernel, memo_policy=DefaultMemoPolicy(verify_on_serve=False)
+        )
+        cache.read(ref_a)
+        assert cache.read(ref_b).disposition == "miss"
+        assert cache.memo_stats.verifier_bypasses == 1
+
+    def test_failing_verifier_drops_record(self):
+        # Same bytes re-stored: source signature unchanged, but the
+        # modification-time verifier sees a new generation and votes
+        # INVALID — the memo must prune instead of serving.
+        kernel, base, (ref_a, ref_b) = build_world()
+        cache = memo_cache(kernel)
+        cache.read(ref_a)
+        base.provider.mutate_out_of_band(base.provider.peek())
+        assert cache.read(ref_b).disposition == "miss"
+        assert cache.memo_stats.verifier_drops == 1
+
+    def test_dead_output_bytes_prune_record(self):
+        kernel, base, (ref_a, ref_b) = build_world()
+        cache = memo_cache(kernel, use_verifiers=False)
+        cache.read(ref_a)
+        cache.clear()  # last entry reference gone -> bytes leave store
+        assert cache.read(ref_b).disposition == "miss"
+        assert cache.memo_stats.dead_drops == 1
+        assert len(cache.memo) == 1  # the refetch re-recorded
+
+    def test_lru_bound_emits_evictions(self):
+        kernel = PlacelessKernel()
+        owner = kernel.create_user("owner")
+        user = kernel.create_user("reader")
+        refs = []
+        for index in range(3):
+            b = kernel.create_document(
+                owner,
+                MemoryProvider(kernel.ctx, f"doc {index}".encode()),
+                f"doc-{index}",
+            )
+            refs.append(kernel.space(user).add_reference(b))
+        cache = memo_cache(kernel, memo_policy=DefaultMemoPolicy(capacity=1))
+        for reference in refs:
+            cache.read(reference)
+        assert len(cache.memo) == 1
+        assert cache.memo_stats.evictions == 2
+
+    def test_crash_purges_memo(self):
+        kernel, base, (ref_a, ref_b) = build_world()
+        cache = memo_cache(kernel)
+        cache.read(ref_a)
+        assert len(cache.memo) == 1
+        cache.crash()
+        assert len(cache.memo) == 0
+        assert cache.memo_stats.purged == 1
+        assert cache.read(ref_b).disposition == "miss"
+
+    def test_resync_purges_memo(self):
+        kernel, base, (ref_a, _) = build_world()
+        cache = memo_cache(
+            kernel, recovery_policy=DefaultRecoveryPolicy()
+        )
+        cache.read(ref_a)
+        assert len(cache.memo) == 1
+        cache.resync()
+        assert len(cache.memo) == 0
+        assert cache.memo_stats.purged == 1
+
+    def test_open_breaker_bypasses_memo(self):
+        kernel, base, (ref_a, ref_b) = build_world()
+        prop = base.attach(TranslationProperty())
+        cache = memo_cache(
+            kernel,
+            containment_policy=DefaultContainmentPolicy(failure_threshold=1),
+        )
+        cache.read(ref_a)
+        guard = cache.containment
+        breaker = guard.wrappers.get(
+            (base.document_id, property_site(prop))
+        )
+        breaker.record_failure(kernel.ctx.clock.now_ms)
+        assert cache.read(ref_b).disposition != "miss-memoized"
+        assert cache.memo_stats.contained_bypasses >= 1
+
+    def test_memoized_entry_behaves_like_filled_entry(self):
+        # The adopted entry must survive later hits and invalidations.
+        kernel, base, (ref_a, ref_b) = build_world()
+        base.attach(TranslationProperty())
+        cache = memo_cache(kernel)
+        cache.read(ref_a)
+        cache.read(ref_b)
+        assert cache.read(ref_b).disposition in ("hit", "revalidated")
+        dropped = cache.invalidate_document(base.document_id)
+        assert dropped == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(CacheError):
+            DefaultMemoPolicy(capacity=0)
+        with pytest.raises(CacheError):
+            DefaultMemoPolicy(probe_cost_ms=-1.0)
+
+    def test_stats_projection_counts(self):
+        stats = MemoStats()
+        assert stats.consults == 0
+        stats.adoptions, stats.misses, stats.negative_hits = 3, 2, 1
+        assert stats.consults == 6
+        assert stats.chain_executions_avoided == 3
