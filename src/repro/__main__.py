@@ -42,6 +42,8 @@ _EXPERIMENT_MODULES = {
     "containment": "repro.bench.containment",
     "a15": "repro.bench.memo",
     "memo": "repro.bench.memo",
+    "a16": "repro.bench.stampede",
+    "stampede": "repro.bench.stampede",
 }
 
 
@@ -152,7 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
             "latency with circuit breakers, budgets and firewalls "
             "(alias: containment), a15 transform memoization — chain "
             "executions avoided and cold-miss latency with the memo on "
-            "vs off (alias: memo; supports --smoke).  Examples: "
+            "vs off (alias: memo; supports --smoke), a16 single-flight "
+            "stampedes — chain executions per distinct key and follower "
+            "latency with coalescing on vs off under the asyncio "
+            "scheduler (alias: stampede; supports --smoke).  Examples: "
             "'repro bench a12', 'repro bench a1 --faults', "
             "'repro bench a14', 'repro bench table1 --faults partition', "
             "'repro bench --faults' (all experiments under chaos)."
@@ -173,14 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a15, faults (alias for a12), recovery (alias "
+        help="table1, a1..a16, faults (alias for a12), recovery (alias "
         "for a13), containment (alias for a14), memo (alias for a15), "
-        "or all (default)",
+        "stampede (alias for a16), or all (default)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
         help="reduced-size run for CI perf-smoke jobs (supported by "
-        "a15; still writes the BENCH_<ID>.json artifact)",
+        "a15 and a16; still writes the BENCH_<ID>.json artifact)",
     )
     bench.add_argument(
         "--faults", nargs="?", const="standard", default=None,

@@ -17,6 +17,7 @@ from repro.bench import (
     recovery,
     replacement,
     sharing,
+    stampede,
     table1,
     writes,
 )
@@ -38,6 +39,7 @@ _EXPERIMENTS = (
     ("A13 consistency recovery", recovery),
     ("A14 containment", containment),
     ("A15 transform memoization", memo),
+    ("A16 single-flight stampedes", stampede),
 )
 
 

@@ -33,6 +33,7 @@ from repro.cache.containment import (
 )
 from repro.cache.entry import CacheEntry, EntryKey, key_for
 from repro.cache.instrumentation import (
+    ConcurrencyStats,
     InstrumentationBus,
     StageEvent,
     StageRecorder,
@@ -48,7 +49,9 @@ from repro.cache.pipeline import ReadPipeline, WritePipeline
 from repro.cache.policies import (
     AdmissionDecision,
     AdmissionPolicy,
+    ConcurrencyPolicy,
     ContainmentPolicy,
+    DefaultConcurrencyPolicy,
     DefaultContainmentPolicy,
     DefaultDegradationPolicy,
     DefaultRecoveryPolicy,
@@ -111,6 +114,9 @@ __all__ = [
     "DefaultDegradationPolicy",
     "ContainmentPolicy",
     "DefaultContainmentPolicy",
+    "ConcurrencyPolicy",
+    "DefaultConcurrencyPolicy",
+    "ConcurrencyStats",
     "ContainmentGuard",
     "ContainmentStats",
     "BreakerConfig",

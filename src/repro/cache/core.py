@@ -27,6 +27,7 @@ from repro.content.signature import sign
 from repro.content.store import ContentStore
 from repro.errors import CacheError
 from repro.events.types import EventType
+from repro.sim.scheduler import FlightTable, Scheduler, SequentialScheduler
 from repro.streams.chain import read_chain_properties
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -34,6 +35,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.manager import DocumentCache, WriteMode
     from repro.cache.policies import (
         AdmissionPolicy,
+        ConcurrencyPolicy,
         DegradationPolicy,
         MemoPolicy,
     )
@@ -121,6 +123,19 @@ class CacheCore:
         #: golden digests byte-identical.
         self.memo: TransformMemo | None = None
         self.memo_policy: "MemoPolicy | None" = None
+        #: The scheduler that drives pipeline generators.  Sequential by
+        #: default — the historical one-access-at-a-time regime every
+        #: golden digest pins; ``read_many`` swaps in an
+        #: :class:`~repro.sim.scheduler.AsyncScheduler` per batch.
+        self.scheduler: "Scheduler" = SequentialScheduler()
+        #: In-progress single-flight misses (always constructed, only
+        #: ever populated under a concurrent scheduler with a
+        #: concurrency policy whose ``coalesce`` flag is on).
+        self.flights = FlightTable()
+        #: The concurrency policy, installed by the manager when one is
+        #: configured; ``None`` (the default) keeps the single-flight
+        #: stage a strict no-op.
+        self.concurrency: "ConcurrencyPolicy | None" = None
 
     # -- instrumentation -----------------------------------------------------
 

@@ -38,6 +38,8 @@ __all__ = [
     "StageRecorder",
     "StatsProjection",
     "BusStatsProjection",
+    "ConcurrencyStats",
+    "ConcurrencyStatsProjection",
     "STAGE_ORDER",
 ]
 
@@ -50,6 +52,7 @@ STAGE_ORDER = (
     "verifier-gate",
     "adoption",
     "memo",
+    "coalesce",
     "fetch",
     "degradation",
     "admission",
@@ -98,10 +101,22 @@ class StageEvent:
 
 
 class InstrumentationBus:
-    """Synchronous fan-out of stage events to subscribers."""
+    """Synchronous fan-out of stage events to subscribers.
+
+    The subscriber collection is copy-on-write: ``subscribe`` and
+    ``unsubscribe`` *replace* an immutable tuple rather than mutating a
+    list in place, and ``emit`` iterates whatever tuple it captured.
+    Under the concurrent scheduler a stage callback may subscribe or
+    unsubscribe mid-emit (e.g. a probe detaching itself when a batch
+    finishes) while another read is delivering events at a suspension
+    point; with a shared mutable list that is the classic
+    mutated-during-iteration race — skipped or double-delivered events.
+    With copy-on-write, an in-progress emit simply finishes against the
+    snapshot it started with (see DESIGN.md §3.3).
+    """
 
     def __init__(self) -> None:
-        self._subscribers: list[Callable[[StageEvent], None]] = []
+        self._subscribers: tuple[Callable[[StageEvent], None], ...] = ()
 
     @property
     def has_subscribers(self) -> bool:
@@ -118,15 +133,25 @@ class InstrumentationBus:
 
     def subscribe(self, subscriber: Callable[[StageEvent], None]) -> None:
         """Register a subscriber; it runs inline on every emit."""
-        self._subscribers.append(subscriber)
+        self._subscribers = self._subscribers + (subscriber,)
 
     def unsubscribe(self, subscriber: Callable[[StageEvent], None]) -> None:
-        """Remove a subscriber (no-op if absent)."""
-        if subscriber in self._subscribers:
-            self._subscribers.remove(subscriber)
+        """Remove the first matching subscriber (no-op if absent).
+
+        Matches by equality, not identity — bound methods compare equal
+        across accesses even though each access builds a fresh object.
+        """
+        subscribers = list(self._subscribers)
+        if subscriber in subscribers:
+            subscribers.remove(subscriber)
+            self._subscribers = tuple(subscribers)
 
     def emit(self, event: StageEvent) -> None:
-        """Deliver one event to every subscriber, in subscription order."""
+        """Deliver one event to every subscriber, in subscription order.
+
+        Binds the tuple once: subscriptions changed by a subscriber (or
+        by an interleaved read) take effect from the *next* emit.
+        """
         for subscriber in self._subscribers:
             subscriber(event)
 
@@ -331,6 +356,55 @@ class StatsProjection:
             self.stats.flushes += 1
         elif event.outcome == "failed":
             self.stats.flush_failures += 1
+
+
+@dataclass(slots=True)
+class ConcurrencyStats:
+    """Counters for the single-flight coalescing plane.
+
+    ``flights_led`` counts reads that registered a flight (one fetch +
+    one chain execution each); ``follows`` counts suspensions on
+    another read's flight — each one is a provider fetch and a chain
+    execution that did *not* happen.  ``promotions`` counts followers
+    that woke from a failed leader and led their own fetch;
+    ``bailed_contained`` / ``bailed_capacity`` count misses that
+    declined to coalesce (open breaker on the chain / follower budget
+    exhausted) and fetched for themselves.
+    """
+
+    flights_led: int = 0
+    follows: int = 0
+    promotions: int = 0
+    bailed_contained: int = 0
+    bailed_capacity: int = 0
+
+    @property
+    def fetches_saved(self) -> int:
+        """Provider fetches avoided by coalescing (follows that never
+        re-led: a promotion re-runs the fetch it was spared)."""
+        return max(0, self.follows - self.promotions)
+
+
+class ConcurrencyStatsProjection:
+    """Derives :class:`ConcurrencyStats` from ``coalesce`` events."""
+
+    def __init__(self) -> None:
+        self.stats = ConcurrencyStats()
+
+    def __call__(self, event: StageEvent) -> None:
+        if event.stage != "coalesce":
+            return
+        stats = self.stats
+        if event.outcome == "led":
+            stats.flights_led += 1
+        elif event.outcome == "followed":
+            stats.follows += 1
+        elif event.outcome == "promoted":
+            stats.promotions += 1
+        elif event.outcome == "bailed-contained":
+            stats.bailed_contained += 1
+        elif event.outcome == "bailed-capacity":
+            stats.bailed_capacity += 1
 
 
 class BusStatsProjection:

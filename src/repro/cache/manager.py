@@ -27,6 +27,8 @@ from repro.cache.core import (  # noqa: F401  (constants re-exported for compat)
 )
 from repro.cache.entry import CacheEntry, EntryKey
 from repro.cache.instrumentation import (
+    ConcurrencyStats,
+    ConcurrencyStatsProjection,
     InstrumentationBus,
     StageRecorder,
     StatsProjection,
@@ -41,6 +43,7 @@ from repro.cache.pipeline import (
 )
 from repro.cache.policies import (
     AdmissionPolicy,
+    ConcurrencyPolicy,
     ContainmentPolicy,
     DefaultDegradationPolicy,
     DegradationPolicy,
@@ -53,6 +56,7 @@ from repro.cache.policies import (
 from repro.cache.recovery import ConsistencyRecoveryManager, RecoveryStats
 from repro.errors import CacheCapacityError, CacheError
 from repro.ids import DocumentId, UserId
+from repro.sim.scheduler import AsyncScheduler
 from repro.sim.topology import CachePlacement, Topology
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -152,6 +156,20 @@ class DocumentCache:
         answered by signature adoption instead of a provider fetch plus
         chain execution.  ``None`` (the default) keeps the miss path
         byte-identical to the pre-memo pipeline.
+    concurrency_policy:
+        Opt-in concurrent read path
+        (:class:`~repro.cache.policies.ConcurrencyPolicy`, e.g.
+        :class:`~repro.cache.policies.DefaultConcurrencyPolicy`):
+        :meth:`read_many` drives batches through an asyncio-backed
+        :class:`~repro.sim.scheduler.AsyncScheduler`, and — when the
+        policy's ``coalesce`` flag is on — concurrent misses
+        single-flight: one provider fetch and one property-chain
+        execution shared among every concurrent requester of the same
+        ``(document, user)`` key (and, with a memo policy, the same
+        ``(source signature, chain fingerprint)`` pair), with
+        leader-failure promotion and breaker/budget bail-outs.
+        ``None`` (the default) keeps every read sequential and the
+        cache byte-identical to its pre-concurrency behaviour.
     """
 
     def __init__(
@@ -179,6 +197,7 @@ class DocumentCache:
         recovery_policy: RecoveryPolicy | None = None,
         containment_policy: ContainmentPolicy | None = None,
         memo_policy: MemoPolicy | None = None,
+        concurrency_policy: ConcurrencyPolicy | None = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise CacheCapacityError(
@@ -236,6 +255,11 @@ class DocumentCache:
             self._core.memo = TransformMemo(memo_policy.capacity)
             self._memo_stats = MemoStatsProjection()
             self.instrumentation.subscribe(self._memo_stats)
+        self._concurrency_stats: ConcurrencyStatsProjection | None = None
+        if concurrency_policy is not None:
+            self._core.concurrency = concurrency_policy
+            self._concurrency_stats = ConcurrencyStatsProjection()
+            self.instrumentation.subscribe(self._concurrency_stats)
         self._recovery: ConsistencyRecoveryManager | None = None
         if recovery_policy is not None:
             self._recovery = ConsistencyRecoveryManager(
@@ -369,6 +393,47 @@ class DocumentCache:
         outcome = self._reads.read(reference)
         self._drain_prefetch()
         return outcome
+
+    def read_many(
+        self,
+        references: typing.Sequence["DocumentReference"],
+        *,
+        return_exceptions: bool = False,
+    ) -> list[CacheReadOutcome]:
+        """Read a batch concurrently; outcomes in submission order.
+
+        With a ``concurrency_policy``, the batch runs under an
+        asyncio-backed :class:`~repro.sim.scheduler.AsyncScheduler`:
+        reads interleave at the verifier and fetch/chain seams, and —
+        when the policy coalesces — concurrent misses on one key share
+        a single flight.  Without one, the batch degenerates to
+        sequential :meth:`read` calls, so callers can use ``read_many``
+        unconditionally.
+
+        With ``return_exceptions`` per-read failures are returned
+        in-place instead of re-raised (the whole batch always runs to
+        termination either way).
+        """
+        if self._core.concurrency is None:
+            if not return_exceptions:
+                return [self.read(reference) for reference in references]
+            outcomes: list = []
+            for reference in references:
+                try:
+                    outcomes.append(self.read(reference))
+                except Exception as error:
+                    outcomes.append(error)
+            return outcomes
+        scheduler = AsyncScheduler()
+        results = scheduler.run(
+            [
+                self._reads.iterate(reference, scheduler=scheduler)
+                for reference in references
+            ],
+            return_exceptions=return_exceptions,
+        )
+        self._drain_prefetch()
+        return results
 
     def read_for_fill(self, reference: "DocumentReference"):
         """Serve an upper-level cache: content plus fill metadata.
@@ -509,6 +574,22 @@ class DocumentCache:
         """Memo-plane counters (``None`` without a memo policy)."""
         return (
             self._memo_stats.stats if self._memo_stats is not None else None
+        )
+
+    # -- concurrency -----------------------------------------------------------
+
+    @property
+    def concurrency_policy(self) -> ConcurrencyPolicy | None:
+        """The concurrency policy, when one is set."""
+        return self._core.concurrency
+
+    @property
+    def concurrency_stats(self) -> ConcurrencyStats | None:
+        """Single-flight counters (``None`` without a concurrency policy)."""
+        return (
+            self._concurrency_stats.stats
+            if self._concurrency_stats is not None
+            else None
         )
 
     # -- consistency recovery --------------------------------------------------

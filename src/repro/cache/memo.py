@@ -192,8 +192,18 @@ class TransformMemo:
         return evicted
 
     def discard(self, record: MemoRecord) -> None:
-        """Forget one record (no-op when already gone)."""
-        self._records.pop(record.key, None)
+        """Forget one record (no-op when already gone or superseded).
+
+        Identity-guarded: only removes the mapping when the table still
+        holds *this* record object.  Under the concurrent scheduler a
+        read can decide to discard a record (dead output signature,
+        failed verifier), suspend at a seam, and resume after another
+        read has re-recorded a fresh record under the same key — a
+        blind ``pop`` would drop the fresh record and silently lose its
+        refcount bookkeeping (see DESIGN.md §3.3).
+        """
+        if self._records.get(record.key) is record:
+            del self._records[record.key]
 
     def purge_all(self) -> int:
         """Drop every record; returns how many were dropped."""

@@ -3,23 +3,32 @@
 A read is a fixed sequence of small stages, each a class with one
 ``run(ctx)`` method over a shared typed :class:`ReadContext`:
 
-    dirty-flush → lookup → verifier-gate → adoption → memo → fetch →
-    degradation → admission
+    dirty-flush → lookup → verifier-gate → adoption → memo →
+    single-flight → fetch → degradation → admission
 
-A stage returns ``None`` to pass the context on, or a terminal result
+A stage returns ``None`` to pass the context on, a terminal result
 (:class:`CacheReadOutcome` for application reads, a ``(content, meta)``
-pair for lower-level ``read_for_fill`` serves) to finish the read.  The
-write path is the same idea with two stages (interpose → buffer) plus a
-flush stage shared by write-back draining and the read path's
-dirty-flush gate.
+pair for lower-level ``read_for_fill`` serves) to finish the read, or a
+:class:`~repro.sim.scheduler.Suspension` to park the read on another
+read's in-progress flight.  The write path is the same idea with two
+stages (interpose → buffer) plus a flush stage shared by write-back
+draining and the read path's dirty-flush gate.
+
+Stages stay synchronous; *scheduling* is externalised.  The pipeline
+expresses one access as a generator yielding suspension markers at the
+verifier and fetch/chain seams, and a
+:class:`~repro.sim.scheduler.Scheduler` drives it: the default
+:class:`~repro.sim.scheduler.SequentialScheduler` inline (operation
+order, clock charges and fault-plan consultations exactly as the
+pre-scheduler pipeline performed them — the golden-digest equivalence
+tests pin byte-identical stats and fault traces across the refactor),
+the :class:`~repro.sim.scheduler.AsyncScheduler` as interleaved
+coroutines with single-flight request coalescing (see
+:class:`SingleFlightStage`).
 
 Stages hold no state of their own: everything mutable lives in the
 :class:`~repro.cache.core.CacheCore` they share, and every observable
-step is emitted onto the core's instrumentation bus.  The stage
-sequencing, virtual-clock charges, and fault-plan consultations happen
-in *exactly* the order the pre-pipeline monolithic manager performed
-them — the golden-digest equivalence tests pin byte-identical stats and
-fault traces across the refactor.
+step is emitted onto the core's instrumentation bus.
 """
 
 from __future__ import annotations
@@ -38,6 +47,12 @@ from repro.cache.policies import AdmissionDecision
 from repro.cache.verifiers import Verdict
 from repro.content.signature import sign
 from repro.errors import CacheError
+from repro.sim.scheduler import (
+    FETCH_SEAM,
+    VERIFIER_SEAM,
+    Scheduler,
+    Suspension,
+)
 from repro.streams.chain import property_site, read_chain_properties
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -56,6 +71,7 @@ __all__ = [
     "VerifierGateStage",
     "AdoptionStage",
     "MemoStage",
+    "SingleFlightStage",
     "FetchStage",
     "DegradationStage",
     "AdmissionStage",
@@ -127,6 +143,19 @@ class ReadContext:
     #: (e.g. containment-blocked), in which case admission records
     #: nothing.
     memo_fingerprint: ChainFingerprint | None = None
+    #: The source signature the memo stage probed alongside the
+    #: fingerprint — together they form the memo-plane coalescing key.
+    memo_source: typing.Any = None
+    #: The scheduler driving this read (set by the pipeline; defaults to
+    #: the core's sequential scheduler).  Nested reads — prefetch
+    #: drains, backing-cache fills — always run sequentially.
+    scheduler: "Scheduler | None" = None
+    #: The single-flight this read *leads*, if any; resolved when the
+    #: read terminates (landed) or raises (failed → follower promotion).
+    flight: typing.Any = None
+    #: Times this read suspended on another read's flight and re-entered
+    #: the pipeline (0 for leaders and uncoalesced reads).
+    follows: int = 0
 
 
 @dataclass
@@ -180,10 +209,17 @@ class VerifierGateStage:
         self.core = core
 
     def run(self, ctx: ReadContext):
+        core = self.core
         entry = ctx.entry
+        if entry is not None and core.entries.get(ctx.key) is not entry:
+            # The lookup ran before the verifier seam; under a
+            # concurrent scheduler an interleaved read may have dropped
+            # (or replaced) the entry while this read was suspended.
+            # Re-anchor on the live table — sequentially nothing can
+            # intervene, so this is the same object the lookup found.
+            ctx.entry = entry = core.entries.get(ctx.key)
         if entry is None:
             return None
-        core = self.core
         content = core.store.get(entry.signature)
         stale = (content, entry.created_at_ms)
         disposition = "hit"
@@ -466,6 +502,9 @@ class MemoStage:
         assert core.memo_policy is not None
         core.ctx.charge(core.memo_policy.probe_cost_ms)
         source_signature = sign(ctx.reference.base.provider.peek())
+        # The probed pair doubles as the memo-plane coalescing key for
+        # the single-flight stage downstream.
+        ctx.memo_source = source_signature
         record = memo.lookup(source_signature, fingerprint)
         if record is None:
             core.emit("memo", "missed", key=ctx.key)
@@ -577,6 +616,102 @@ class MemoStage:
             content=content, hit=False, elapsed_ms=elapsed,
             disposition="miss-memoized",
         )
+
+
+class SingleFlightStage:
+    """Coalesce concurrent misses into one fetch + one chain execution.
+
+    The last gate before the fetch/chain seam.  Under a concurrent
+    scheduler with a :class:`~repro.cache.policies.ConcurrencyPolicy`
+    whose ``coalesce`` flag is on, a miss probes the core's
+    :class:`~repro.sim.scheduler.FlightTable` under two keys:
+
+    * the ``(document, user)`` entry key — N concurrent reads of one
+      reference share one fill;
+    * via the A15 memo plane, the ``(source signature, chain
+      fingerprint)`` pair — concurrent cold misses by *different* users
+      whose chains would produce identical bytes share one chain
+      execution, with followers answered by the leader's memo record.
+
+    A hit on either key suspends the read on the leader's flight; when
+    the leader lands, the follower re-enters the pipeline from the top,
+    where the leader's fill answers it as a verifier-gated hit (same
+    key) or a signature-only memo adoption (memo-plane key) — the
+    "follower adopts the leader's signed result" rule, built on
+    :meth:`~repro.content.store.ContentStore.put_signed` having already
+    placed the leader's bytes in the store.  A leader that *fails*
+    resolves the flight with its error: the first follower to wake
+    finds the table empty and promotes itself to leader; the rest
+    re-follow the promoted read.
+
+    Containment semantics survive coalescing by bailing out instead of
+    sharing: an open breaker on any chain property bypasses the flight
+    table entirely (a quarantined chain's output must not fan out to N
+    followers), and the policy's ``max_followers`` budget caps how many
+    reads may park on one flight — excess reads fetch for themselves.
+
+    The stage is a strict no-op when no concurrency policy is
+    configured or the driving scheduler cannot suspend (the sequential
+    default), so golden digests are untouched.
+    """
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: ReadContext):
+        core = self.core
+        policy = core.concurrency
+        if policy is None or not policy.coalesce:
+            return None
+        scheduler = ctx.scheduler
+        if scheduler is None or not scheduler.supports_concurrency:
+            return None
+        guard = core.containment
+        if guard is not None and self._chain_blocked(guard, ctx):
+            core.emit("coalesce", "bailed-contained", key=ctx.key)
+            return None
+        keys = self._coalesce_keys(ctx, policy)
+        for key in keys:
+            flight = core.flights.lookup(key)
+            if flight is None:
+                continue
+            max_followers = policy.max_followers
+            if max_followers is not None and flight.waiters >= max_followers:
+                core.emit("coalesce", "bailed-capacity", key=ctx.key)
+                return None
+            core.emit("coalesce", "followed", key=ctx.key)
+            return Suspension("flight", flight)
+        ctx.flight = core.flights.open(keys)
+        core.emit("coalesce", "led", key=ctx.key)
+        return None
+
+    @staticmethod
+    def _coalesce_keys(ctx: ReadContext, policy) -> tuple:
+        """The flight-table keys this miss coalesces under."""
+        keys: tuple = (("entry", ctx.key),)
+        if (
+            policy.coalesce_memo_plane
+            and ctx.memo_source is not None
+            and ctx.memo_fingerprint is not None
+        ):
+            keys += (("memo", ctx.memo_source, ctx.memo_fingerprint),)
+        return keys
+
+    @staticmethod
+    def _chain_blocked(guard, ctx: ReadContext) -> bool:
+        """True when any chain property's wrapper breaker is open.
+
+        Mirrors the memo stage's peek-only probe: consulting the flight
+        table must neither create breakers nor consume half-open probe
+        slots.
+        """
+        for prop in read_chain_properties(ctx.reference):
+            breaker = guard.wrappers.peek(
+                (ctx.key.document_id, property_site(prop))
+            )
+            if breaker is not None and breaker.state is BreakerState.OPEN:
+                return True
+        return False
 
 
 class FetchStage:
@@ -737,7 +872,12 @@ class AdmissionStage:
 
 
 class ReadPipeline:
-    """Runs the read stages in order until one produces a result."""
+    """Runs the read stages in order until one produces a result.
+
+    One read is a generator over the stage sequence; the scheduler that
+    drives it decides whether suspensions interleave other reads
+    (async) or resolve inline (sequential, the default).
+    """
 
     def __init__(self, core: CacheCore, writes: "WritePipeline") -> None:
         self.core = core
@@ -747,33 +887,112 @@ class ReadPipeline:
             VerifierGateStage(core),
             AdoptionStage(core),
             MemoStage(core),
+            SingleFlightStage(core),
             FetchStage(core),
             DegradationStage(core),
             AdmissionStage(core),
         ]
+        #: Seam suspensions yielded *before* the keyed stage when the
+        #: driving scheduler can interleave: the verifier seam and the
+        #: fetch/chain seam, the two places a concurrent read path may
+        #: switch to another read.
+        self._seams = {
+            id(self.stages[2]): VERIFIER_SEAM,
+            id(self.stages[6]): FETCH_SEAM,
+        }
 
     def read(self, reference: "DocumentReference") -> CacheReadOutcome:
         """Application read: run the stages to a ``CacheReadOutcome``."""
-        return self._run(reference, for_fill=False)
+        return self.core.scheduler.drive(self.iterate(reference))
 
     def read_for_fill(self, reference: "DocumentReference"):
         """Lower-level serve: run the stages to ``(content, meta)``."""
-        return self._run(reference, for_fill=True)
+        return self.core.scheduler.drive(self.iterate(reference, for_fill=True))
 
-    def _run(self, reference: "DocumentReference", for_fill: bool):
+    def iterate(
+        self,
+        reference: "DocumentReference",
+        *,
+        for_fill: bool = False,
+        scheduler: "Scheduler | None" = None,
+    ):
+        """One read as a scheduler-drivable generator.
+
+        ``scheduler`` is whatever will drive the generator; the
+        single-flight stage consults it to decide whether suspending is
+        possible at all.  Nested reads (prefetch drains, backing-cache
+        fills) leave it unset and run sequentially.
+        """
         ctx = ReadContext(
             reference=reference,
             key=EntryKey.for_reference(reference),
             started_ms=self.core.ctx.clock.now_ms,
             for_fill=for_fill,
+            scheduler=scheduler or self.core.scheduler,
         )
-        for stage in self.stages:
-            result = stage.run(ctx)
-            if result is not None:
-                return result
-        raise CacheError(
-            "read pipeline ended without a terminal stage result"
-        )  # pragma: no cover - AdmissionStage always terminates
+        return self._iterate(ctx)
+
+    def _iterate(self, ctx: ReadContext):
+        core = self.core
+        concurrent = ctx.scheduler is not None and ctx.scheduler.supports_concurrency
+        try:
+            while True:
+                followed = False
+                for stage in self.stages:
+                    if concurrent:
+                        seam = self._seams.get(id(stage))
+                        if seam is not None:
+                            yield seam
+                    result = stage.run(ctx)
+                    if isinstance(result, Suspension):
+                        # Park on the leader's flight; on wake, re-enter
+                        # the pipeline from the top, where the leader's
+                        # fill (or memo record) answers this read.
+                        payload = yield result
+                        self._resume_follower(ctx, payload)
+                        followed = True
+                        break
+                    if result is not None:
+                        if ctx.flight is not None:
+                            disposition = getattr(
+                                result, "disposition", "fill"
+                            )
+                            core.flights.close(
+                                ctx.flight, ("landed", disposition)
+                            )
+                            ctx.flight = None
+                        return result
+                if not followed:
+                    raise CacheError(
+                        "read pipeline ended without a terminal stage result"
+                    )  # pragma: no cover - AdmissionStage always terminates
+        except BaseException as error:
+            if ctx.flight is not None:
+                # Leader failure: deregister first, then wake followers —
+                # the first to resume finds no flight and promotes
+                # itself to lead its own fetch.
+                core.flights.close(ctx.flight, ("failed", error))
+                ctx.flight = None
+            raise
+
+    def _resume_follower(self, ctx: ReadContext, payload) -> None:
+        """Reset per-attempt state after a flight wait; keep started_ms.
+
+        The follower's latency deliberately includes the wait: its read
+        began when it began, and the leader's remaining work is the
+        price of coalescing.
+        """
+        ctx.entry = None
+        ctx.stale = None
+        ctx.content = None
+        ctx.meta = None
+        ctx.degraded = False
+        ctx.fetch_error = None
+        ctx.memo_fingerprint = None
+        ctx.memo_source = None
+        ctx.follows += 1
+        if payload is not None and payload[0] == "failed":
+            self.core.emit("coalesce", "promoted", key=ctx.key)
 
 
 # -- write stages --------------------------------------------------------------
@@ -870,12 +1089,27 @@ class WritePipeline:
 
     def write(self, reference: "DocumentReference", content: bytes) -> float:
         """Write through (or into) the cache; returns elapsed virtual ms."""
+        return self.core.scheduler.drive(self.iterate(reference, content))
+
+    def iterate(self, reference: "DocumentReference", content: bytes):
+        """One write as a scheduler-drivable generator.
+
+        Writes are short critical sections — interpose/buffer mutate
+        shared state — so the only suspension point is *before* the
+        stages run: under a concurrent scheduler a write may interleave
+        with in-flight reads at that seam, but never mid-mutation.
+        """
         ctx = WriteContext(
             reference=reference,
             key=EntryKey.for_reference(reference),
             content=content,
             started_ms=self.core.ctx.clock.now_ms,
         )
+        return self._iterate(ctx)
+
+    def _iterate(self, ctx: WriteContext):
+        if self.core.scheduler.supports_concurrency:
+            yield FETCH_SEAM
         for stage in self.stages:
             if stage.run(ctx):
                 break

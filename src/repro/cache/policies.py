@@ -48,6 +48,8 @@ __all__ = [
     "DefaultContainmentPolicy",
     "MemoPolicy",
     "DefaultMemoPolicy",
+    "ConcurrencyPolicy",
+    "DefaultConcurrencyPolicy",
     "RecoveryPolicy",
     "DefaultRecoveryPolicy",
     "ReplacementPolicy",
@@ -263,6 +265,67 @@ class DefaultMemoPolicy:
         self.probe_cost_ms = probe_cost_ms
         self.verify_on_serve = verify_on_serve
         self.negative_cache = negative_cache
+
+
+@runtime_checkable
+class ConcurrencyPolicy(Protocol):
+    """Configuration seam for the concurrent read path.
+
+    A cache constructed with a concurrency policy may drive read
+    batches through an :class:`~repro.sim.scheduler.AsyncScheduler`
+    (``DocumentCache.read_many``) and, when ``coalesce`` is on,
+    single-flight concurrent misses: the pipeline's
+    :class:`~repro.cache.pipeline.SingleFlightStage` shares one
+    provider fetch and one property-chain execution among every
+    concurrent requester of the same ``(document, user)`` key — and,
+    via the transform-memo plane, the same ``(source signature, chain
+    fingerprint)`` pair.  ``None`` (the default) keeps the stage a
+    strict no-op, ``read_many`` sequential, and the cache
+    byte-identical to its pre-concurrency behaviour.
+    """
+
+    #: Coalesce concurrent misses into single flights at all.
+    coalesce: bool
+    #: Additionally coalesce under the memo-plane key, sharing one
+    #: chain execution among *different* users whose chains would
+    #: produce identical bytes (requires a memo policy to have
+    #: populated the context's probe results).
+    coalesce_memo_plane: bool
+    #: Budget bail-out: at most this many reads may park on one flight;
+    #: excess reads fetch for themselves.  ``None`` for unbounded.
+    max_followers: int | None
+
+
+class DefaultConcurrencyPolicy:
+    """Single-flight coalescing with sensible bounds.
+
+    Parameters
+    ----------
+    coalesce:
+        Coalesce concurrent misses (default on — constructing the
+        policy at all is the opt-in; pass ``False`` for an ablation
+        that runs the async scheduler with no coalescing).
+    coalesce_memo_plane:
+        Also coalesce under the ``(source signature, chain
+        fingerprint)`` key (default on; only effective when the cache
+        also has a memo policy, which supplies the probed pair).
+    max_followers:
+        Follower cap per flight (``None`` = unbounded, the default).
+    """
+
+    def __init__(
+        self,
+        coalesce: bool = True,
+        coalesce_memo_plane: bool = True,
+        max_followers: int | None = None,
+    ) -> None:
+        if max_followers is not None and max_followers < 1:
+            raise CacheError(
+                f"max_followers must be >= 1: {max_followers}"
+            )
+        self.coalesce = coalesce
+        self.coalesce_memo_plane = coalesce_memo_plane
+        self.max_followers = max_followers
 
 
 @runtime_checkable

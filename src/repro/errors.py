@@ -40,6 +40,7 @@ __all__ = [
     "NFSError",
     "BadFileHandleError",
     "ClockError",
+    "SchedulerError",
     "WorkloadError",
 ]
 
@@ -198,6 +199,12 @@ class BadFileHandleError(NFSError, KeyError):
 
 class ClockError(PlacelessError):
     """Misuse of the virtual clock (e.g. scheduling in the past)."""
+
+
+class SchedulerError(PlacelessError):
+    """Misuse of a read-path scheduler (e.g. waiting on a flight from
+    the sequential scheduler, or nesting an async batch inside a
+    running event loop)."""
 
 
 class WorkloadError(PlacelessError):

@@ -13,6 +13,14 @@ wall-clock numbers from pytest-benchmark.
 
 from repro.sim.clock import ScheduledCall, VirtualClock
 from repro.sim.context import SimContext
+from repro.sim.scheduler import (
+    AsyncScheduler,
+    Flight,
+    FlightTable,
+    Scheduler,
+    SequentialScheduler,
+    Suspension,
+)
 from repro.sim.latency import (
     HopCost,
     LatencyModel,
@@ -25,6 +33,12 @@ __all__ = [
     "SimContext",
     "VirtualClock",
     "ScheduledCall",
+    "Scheduler",
+    "SequentialScheduler",
+    "AsyncScheduler",
+    "Suspension",
+    "Flight",
+    "FlightTable",
     "LatencyModel",
     "LatencySample",
     "HopCost",

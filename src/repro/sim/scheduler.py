@@ -1,0 +1,295 @@
+"""Read-path schedulers: sequential virtual-clock mode and asyncio mode.
+
+Everything in this repro ran sequentially on the virtual clock: one
+read executed start-to-finish before the next began.  A real deployment
+has thousands of in-flight reads, and concurrent misses on one hot
+document would stampede the provider and re-run the active-property
+chain once per requester.  This module introduces the *scheduler*
+abstraction that lets the staged read/write pipeline run under either
+regime without duplicating any stage code:
+
+* Stages stay synchronous.  The pipeline expresses one access as a
+  Python *generator* that yields :class:`Suspension` markers at the
+  seams where a concurrent implementation may interleave work — before
+  the verifier gate and before the fetch/chain execution — and a
+  scheduler *drives* that generator to its terminal value.
+* :class:`SequentialScheduler` (the default) drives the generator
+  inline, resolving every suspension immediately.  The operation order,
+  virtual-clock charges and fault-plan consultations are exactly those
+  of the pre-scheduler pipeline, which is what keeps the golden digests
+  bit-for-bit.
+* :class:`AsyncScheduler` drives each generator as an asyncio coroutine:
+  a yielded suspension awaits — a bare cooperative yield for seam
+  markers, the owning :class:`Flight` for single-flight waits — so many
+  reads interleave deterministically (asyncio's ready queue is FIFO and
+  nothing here uses wall-clock timers or randomness; the same batch
+  replays identically).
+
+Single-flight coalescing lives here too, because a *flight* is a
+scheduling construct: :class:`FlightTable` maps in-progress miss keys —
+the ``(document, user)`` entry key and, via the transform-memo plane,
+the ``(source signature, chain fingerprint)`` pair — to the
+:class:`Flight` its leader opened.  Followers suspend on the flight and,
+once the leader lands, re-enter the pipeline where the leader's fill
+(or memo record) answers them without a second provider fetch or chain
+execution.  A leader that fails *fails over*: the flight resolves with
+the error, the first follower to wake finds the table empty and is
+promoted to lead its own fetch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Generator, Iterable, Protocol, runtime_checkable
+
+from repro.errors import SchedulerError
+
+__all__ = [
+    "Suspension",
+    "VERIFIER_SEAM",
+    "FETCH_SEAM",
+    "Flight",
+    "FlightTable",
+    "Scheduler",
+    "SequentialScheduler",
+    "AsyncScheduler",
+]
+
+
+class Suspension:
+    """One point where the driving scheduler may interleave other work.
+
+    ``seam`` names the pipeline seam ("verifier", "fetch", "flight");
+    ``flight`` is set when the suspension waits on a single-flight
+    leader rather than merely offering the scheduler a chance to run
+    someone else.  Seam-only suspensions are interned module constants,
+    so the hot sequential path allocates nothing per read.
+    """
+
+    __slots__ = ("seam", "flight")
+
+    def __init__(self, seam: str, flight: "Flight | None" = None) -> None:
+        self.seam = seam
+        self.flight = flight
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        waiting = f" waiting on {self.flight.describe()}" if self.flight else ""
+        return f"<Suspension {self.seam}{waiting}>"
+
+
+#: Interned seam markers yielded before the corresponding stages; the
+#: sequential driver resolves them without allocating or charging.
+VERIFIER_SEAM = Suspension("verifier")
+FETCH_SEAM = Suspension("fetch")
+
+
+class Flight:
+    """One in-progress miss whose result concurrent requesters share.
+
+    The leader registers the flight under its coalescing keys, runs the
+    normal fetch/chain path, and resolves the flight when its read
+    terminates.  Followers ``wait()`` and receive the resolution
+    payload: ``("landed", disposition)`` on success, ``("failed",
+    error)`` when the leader's read raised — the cue for leader-failure
+    promotion.  The event is lazy so flights can be constructed outside
+    a running loop (the sequential scheduler never waits on one).
+    """
+
+    __slots__ = ("keys", "waiters", "_event", "_payload")
+
+    def __init__(self, keys: tuple[Any, ...]) -> None:
+        self.keys = keys
+        #: Followers currently suspended on this flight (the budget
+        #: bail-out compares this against the policy's follower cap).
+        self.waiters = 0
+        self._event: asyncio.Event | None = None
+        self._payload: tuple[str, Any] | None = None
+
+    @property
+    def resolved(self) -> bool:
+        """True once the leader landed or failed."""
+        return self._payload is not None
+
+    def describe(self) -> str:
+        """Short human-readable key list for traces."""
+        return "+".join(str(key) for key in self.keys)
+
+    async def wait(self) -> tuple[str, Any]:
+        """Suspend until the leader resolves; returns the payload."""
+        if self._payload is not None:
+            return self._payload
+        if self._event is None:
+            self._event = asyncio.Event()
+        self.waiters += 1
+        try:
+            await self._event.wait()
+        finally:
+            self.waiters -= 1
+        assert self._payload is not None
+        return self._payload
+
+    def resolve(self, payload: tuple[str, Any]) -> None:
+        """Leader landing/failure: release every waiting follower."""
+        self._payload = payload
+        if self._event is not None:
+            self._event.set()
+
+
+class FlightTable:
+    """In-progress flights keyed by their coalescing keys.
+
+    Purely cooperative bookkeeping: entries are registered and removed
+    between suspension points, so no locking discipline beyond "never
+    suspend inside a mutation" is needed (see DESIGN.md §3.3).
+    """
+
+    def __init__(self) -> None:
+        self._flights: dict[Any, Flight] = {}
+
+    def lookup(self, key: Any) -> Flight | None:
+        """The in-progress flight registered under *key*, if any."""
+        return self._flights.get(key)
+
+    def open(self, keys: Iterable[Any]) -> Flight:
+        """Register a new flight under every key in *keys*."""
+        flight = Flight(tuple(keys))
+        for key in flight.keys:
+            self._flights[key] = flight
+        return flight
+
+    def close(self, flight: Flight, payload: tuple[str, Any]) -> None:
+        """Deregister *flight* and wake its followers with *payload*.
+
+        Keys are removed *before* resolving, so a woken follower that
+        misses again finds the table empty and promotes itself to
+        leader instead of re-following a landed flight.
+        """
+        for key in flight.keys:
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+        flight.resolve(payload)
+
+    def in_flight(self) -> int:
+        """Distinct flights currently registered."""
+        return len(set(id(f) for f in self._flights.values()))
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Drives pipeline generators to their terminal values.
+
+    ``supports_concurrency`` gates the single-flight machinery: the
+    pipeline only opens or joins flights when the driving scheduler can
+    actually suspend a read, so the sequential mode never pays for (or
+    observes) coalescing state.
+    """
+
+    supports_concurrency: bool
+
+    def drive(self, generator: Generator) -> Any:
+        """Run one pipeline generator to completion, resolving suspensions."""
+        ...  # pragma: no cover - protocol
+
+
+class SequentialScheduler:
+    """The historical regime: one access at a time, inline.
+
+    Every suspension resolves to ``None`` immediately — no interleaving,
+    no flights — so a pipeline driven by this scheduler performs exactly
+    the operation sequence the pre-scheduler pipeline did.  This is the
+    default on every cache and the mode all golden digests pin.
+    """
+
+    supports_concurrency = False
+
+    def drive(self, generator: Generator) -> Any:
+        payload = None
+        while True:
+            try:
+                step = generator.send(payload)
+            except StopIteration as stop:
+                return stop.value
+            if step is not None and step.flight is not None:
+                # Cannot happen while supports_concurrency is False (the
+                # pipeline never opens flights under this scheduler) —
+                # guard against a stage wiring error all the same.
+                raise SchedulerError(
+                    "sequential scheduler cannot wait on a flight"
+                )
+            payload = None
+
+
+class AsyncScheduler:
+    """asyncio-backed concurrent mode.
+
+    ``run`` executes a batch of pipeline generators on a private event
+    loop: each generator becomes a coroutine that awaits at every
+    yielded suspension — ``asyncio.sleep(0)`` for seam markers (a
+    cooperative yield that lets other reads interleave), or the named
+    :class:`Flight` for single-flight followers.  Scheduling is
+    deterministic: tasks start in submission order, the ready queue is
+    FIFO, and nothing awaits wall-clock time, so identical batches
+    replay identically (the scheduler property tests pin this across
+    chaos seeds).
+    """
+
+    supports_concurrency = True
+
+    def run(
+        self,
+        generators: Iterable[Generator],
+        *,
+        return_exceptions: bool = False,
+    ) -> list[Any]:
+        """Drive *generators* concurrently; results in submission order.
+
+        With ``return_exceptions`` the result list carries raised
+        exceptions in-place (the stampede bench and the promotion tests
+        need the per-read failures); otherwise the first failure —
+        in submission order — is re-raised after the batch completes,
+        so a failing batch still runs every read to termination.
+        """
+        if self._loop_running():
+            raise SchedulerError(
+                "AsyncScheduler.run cannot nest inside a running event loop"
+            )
+        results = asyncio.run(self._gather(list(generators)))
+        if not return_exceptions:
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+        return results
+
+    def drive(self, generator: Generator) -> Any:
+        """Single-generator convenience used by nested sequential calls."""
+        return SequentialScheduler().drive(generator)
+
+    @staticmethod
+    def _loop_running() -> bool:
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return False
+        return True
+
+    async def _gather(self, generators: list[Generator]) -> list[Any]:
+        return await asyncio.gather(
+            *(self._drive(generator) for generator in generators),
+            return_exceptions=True,
+        )
+
+    async def _drive(self, generator: Generator) -> Any:
+        payload: Any = None
+        while True:
+            try:
+                step = generator.send(payload)
+            except StopIteration as stop:
+                return stop.value
+            if step is None or step.flight is None:
+                await asyncio.sleep(0)
+                payload = None
+            else:
+                payload = await step.flight.wait()

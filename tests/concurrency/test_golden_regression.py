@@ -1,0 +1,52 @@
+"""The scheduler refactor must not move the golden digests.
+
+The default configuration — sequential scheduler, no concurrency
+policy, coalescing off — has to reproduce the digests captured from the
+pre-refactor monolithic cache bit-for-bit: same stats, same virtual
+clock, same fault-injection trace.  This re-asserts the pins from
+``tests/property/test_pipeline_equivalence.py`` inside the concurrency
+tier, so a scheduler change that perturbs the sequential path fails
+here even when only this tier runs, and additionally pins the *wiring*
+defaults the equivalence suite takes for granted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.manager import DocumentCache
+from repro.placeless.kernel import PlacelessKernel
+from repro.sim.scheduler import SequentialScheduler
+from tests.property.test_pipeline_equivalence import (
+    _CONFIGS,
+    GOLDEN_DIGESTS,
+    digest,
+    run_seeded_workload,
+)
+
+
+class TestSchedulerDefaults:
+    """The default wiring is the golden-digest-safe regime."""
+
+    def test_default_scheduler_is_sequential(self):
+        cache = DocumentCache(PlacelessKernel(), capacity_bytes=1024)
+        assert isinstance(cache._core.scheduler, SequentialScheduler)
+        assert not cache._core.scheduler.supports_concurrency
+
+    def test_no_concurrency_policy_by_default(self):
+        cache = DocumentCache(PlacelessKernel(), capacity_bytes=1024)
+        assert cache.concurrency_policy is None
+        assert cache.concurrency_stats is None
+        assert len(cache._core.flights) == 0
+
+
+class TestGoldenDigestsUnmoved:
+    """Every pinned digest reproduces bit-for-bit post-refactor."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_DIGESTS))
+    def test_pinned_digest_reproduces(self, name):
+        snapshot = run_seeded_workload(**_CONFIGS[name])
+        assert digest(snapshot) == GOLDEN_DIGESTS[name], (
+            f"golden digest {name!r} moved: the scheduler refactor "
+            "changed observable sequential behaviour"
+        )
