@@ -101,6 +101,12 @@ from repro.providers import (
     WebOrigin,
     WebProvider,
 )
+from repro.cluster import (
+    CacheCluster,
+    ClusterPolicy,
+    DefaultClusterPolicy,
+    PlacementRing,
+)
 from repro.workload import TraceRunner
 from repro.sim import (
     CachePlacement,
@@ -162,6 +168,11 @@ __all__ = [
     "GreedyDualSizePolicy",
     "LRUPolicy",
     "make_policy",
+    # cluster
+    "CacheCluster",
+    "ClusterPolicy",
+    "DefaultClusterPolicy",
+    "PlacementRing",
     # NFS façade
     "NFSServer",
     "NFSMount",

@@ -3,7 +3,7 @@
 Commands
 --------
 ``bench [EXPERIMENT] [--faults [SCENARIO]]``
-    Run one experiment (``table1``, ``a1`` … ``a14``) or all of them;
+    Run one experiment (``table1``, ``a1`` … ``a17``) or all of them;
     ``--faults`` runs it under a named chaos fault scenario
     (``standard`` when the name is omitted, ``partition`` / ``crash``
     to add a bus blackout or a mid-run cache crash, or ``misbehave``
@@ -44,6 +44,8 @@ _EXPERIMENT_MODULES = {
     "memo": "repro.bench.memo",
     "a16": "repro.bench.stampede",
     "stampede": "repro.bench.stampede",
+    "a17": "repro.bench.cluster",
+    "cluster": "repro.bench.cluster",
 }
 
 
@@ -157,7 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
             "vs off (alias: memo; supports --smoke), a16 single-flight "
             "stampedes — chain executions per distinct key and follower "
             "latency with coalescing on vs off under the asyncio "
-            "scheduler (alias: stampede; supports --smoke).  Examples: "
+            "scheduler (alias: stampede; supports --smoke), a17 cluster "
+            "topology — shard-count sweep with cross-shard memo sharing "
+            "on vs off, topology churn repaired via resync, and a "
+            "single-cache parity probe (alias: cluster; supports "
+            "--smoke).  Examples: "
             "'repro bench a12', 'repro bench a1 --faults', "
             "'repro bench a14', 'repro bench table1 --faults partition', "
             "'repro bench --faults' (all experiments under chaos)."
@@ -178,14 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a16, faults (alias for a12), recovery (alias "
+        help="table1, a1..a17, faults (alias for a12), recovery (alias "
         "for a13), containment (alias for a14), memo (alias for a15), "
-        "stampede (alias for a16), or all (default)",
+        "stampede (alias for a16), cluster (alias for a17), or all "
+        "(default)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
         help="reduced-size run for CI perf-smoke jobs (supported by "
-        "a15 and a16; still writes the BENCH_<ID>.json artifact)",
+        "a15, a16 and a17; still writes the BENCH_<ID>.json artifact)",
     )
     bench.add_argument(
         "--faults", nargs="?", const="standard", default=None,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.bench import (
     cacheability,
     chains,
+    cluster,
     collections,
     containment,
     external,
@@ -40,6 +41,7 @@ _EXPERIMENTS = (
     ("A14 containment", containment),
     ("A15 transform memoization", memo),
     ("A16 single-flight stampedes", stampede),
+    ("A17 cluster topology", cluster),
 )
 
 

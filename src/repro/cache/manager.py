@@ -15,7 +15,6 @@ plus the public surface.
 from __future__ import annotations
 
 import typing
-import warnings
 
 from repro.cache.consistency import Invalidation, InvalidationReason
 from repro.cache.containment import ContainmentGuard, ContainmentStats
@@ -56,7 +55,7 @@ from repro.cache.policies import (
 from repro.cache.recovery import ConsistencyRecoveryManager, RecoveryStats
 from repro.errors import CacheCapacityError, CacheError
 from repro.ids import DocumentId, UserId
-from repro.sim.scheduler import AsyncScheduler
+from repro.sim.scheduler import AsyncScheduler, FlightTable
 from repro.sim.topology import CachePlacement, Topology
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -102,9 +101,9 @@ class DocumentCache:
         Degradation bounds, forwarded to the default
         :class:`~repro.cache.policies.DefaultDegradationPolicy` (see its
         docs) — bounded availability-over-freshness stale serving,
-        quarantine of repeatedly-raising verifiers until
-        :meth:`lift_quarantines`, and fetching straight from the kernel
-        past a failed backing level.
+        circuit-breaker quarantine of repeatedly-raising verifiers
+        (inspect and reset via the policy's ``breakers`` registry), and
+        fetching straight from the kernel past a failed backing level.
     retry_policy:
         Optional :class:`~repro.faults.retry.RetryPolicy` applied to
         miss-path fetches and write-back flushes; backoff waits are
@@ -170,6 +169,24 @@ class DocumentCache:
         leader-failure promotion and breaker/budget bail-outs.
         ``None`` (the default) keeps every read sequential and the
         cache byte-identical to its pre-concurrency behaviour.
+    core:
+        Injected :class:`~repro.cache.core.CacheCore` — the cluster
+        layer's seam.  When supplied, the state-building arguments
+        (capacity, replacement policy, bus, topology, write mode,
+        feature flags, backing, retry policy) are taken from the
+        injected core and the corresponding constructor arguments are
+        ignored; this cache becomes pure wiring (pipelines, planes,
+        projections) over externally owned state.
+    memo:
+        Injected :class:`~repro.cache.memo.TransformMemo` (or a
+        subclass — the cluster's shared cross-shard view).  Requires a
+        ``memo_policy``; without this argument a private table of the
+        policy's capacity is built, the historical behaviour.
+    flights:
+        Injected :class:`~repro.sim.scheduler.FlightTable`.  A cluster
+        passes one table to every shard so single-flight coalescing on
+        the ``(source signature, chain fingerprint)`` memo plane spans
+        shard boundaries; by default each cache owns a private table.
     """
 
     def __init__(
@@ -198,7 +215,70 @@ class DocumentCache:
         containment_policy: ContainmentPolicy | None = None,
         memo_policy: MemoPolicy | None = None,
         concurrency_policy: ConcurrencyPolicy | None = None,
+        core: CacheCore | None = None,
+        memo: TransformMemo | None = None,
+        flights: "FlightTable | None" = None,
     ) -> None:
+        ctx = kernel.ctx
+        if core is not None:
+            self.instrumentation = core.instrumentation
+            self._core = core
+        else:
+            self.instrumentation = instrumentation or InstrumentationBus()
+            self._core = self._build_core(
+                kernel=kernel,
+                capacity_bytes=capacity_bytes,
+                name=name,
+                policy=policy,
+                admission_policy=admission_policy,
+                degradation_policy=degradation_policy,
+                bus=bus,
+                placement=placement,
+                write_mode=write_mode,
+                install_notifiers=install_notifiers,
+                use_verifiers=use_verifiers,
+                track_staleness=track_staleness,
+                share_across_users=share_across_users,
+                backing=backing,
+                retry_policy=retry_policy,
+                serve_stale_on_error=serve_stale_on_error,
+                stale_serve_max_age_ms=stale_serve_max_age_ms,
+                verifier_quarantine_threshold=verifier_quarantine_threshold,
+                bypass_backing_on_error=bypass_backing_on_error,
+            )
+        self._wire_pipelines()
+        self._wire_containment(containment_policy, ctx)
+        self._wire_memo(memo_policy, memo)
+        self._wire_concurrency(concurrency_policy, flights)
+        self._wire_recovery(recovery_policy)
+        self._schedule_fault_crashes(ctx)
+
+    # -- construction steps ---------------------------------------------------
+
+    def _build_core(
+        self,
+        *,
+        kernel: "PlacelessKernel",
+        capacity_bytes: int,
+        name: str,
+        policy: ReplacementPolicy | None,
+        admission_policy: AdmissionPolicy | None,
+        degradation_policy: DegradationPolicy | None,
+        bus: InvalidationBus | None,
+        placement: "CachePlacement | None",
+        write_mode: WriteMode,
+        install_notifiers: bool,
+        use_verifiers: bool,
+        track_staleness: bool,
+        share_across_users: bool,
+        backing: "DocumentCache | None",
+        retry_policy: "RetryPolicy | None",
+        serve_stale_on_error: bool,
+        stale_serve_max_age_ms: float | None,
+        verifier_quarantine_threshold: int | None,
+        bypass_backing_on_error: bool,
+    ) -> CacheCore:
+        """Build the state container from the constructor arguments."""
         if capacity_bytes <= 0:
             raise CacheCapacityError(
                 f"capacity must be positive: {capacity_bytes}"
@@ -215,8 +295,7 @@ class DocumentCache:
             topology = ctx.topology
         else:
             topology = Topology(placement=placement)
-        self.instrumentation = instrumentation or InstrumentationBus()
-        self._core = CacheCore(
+        return CacheCore(
             kernel=kernel,
             capacity_bytes=capacity_bytes,
             cache_id=ctx.ids.cache(name),
@@ -235,6 +314,9 @@ class DocumentCache:
             backing=backing,
             retry_policy=retry_policy,
         )
+
+    def _wire_pipelines(self) -> None:
+        """Projections, stage recorder, read/write pipelines, prefetch."""
         self.recorder = StageRecorder()
         self.instrumentation.subscribe(StatsProjection(self._core.stats))
         self.instrumentation.subscribe(self.recorder)
@@ -242,6 +324,10 @@ class DocumentCache:
         self._reads = ReadPipeline(self._core, self._writes)
         self._prefetch_queue: list["DocumentReference"] = []
         self._draining_prefetch = False
+
+    def _wire_containment(
+        self, containment_policy: ContainmentPolicy | None, ctx
+    ) -> None:
         self._containment: ContainmentGuard | None = None
         if containment_policy is not None:
             self._containment = ContainmentGuard(
@@ -249,17 +335,38 @@ class DocumentCache:
             )
             self._core.containment = self._containment
             ctx.containment = self._containment
+
+    def _wire_memo(
+        self, memo_policy: MemoPolicy | None, memo: TransformMemo | None
+    ) -> None:
         self._memo_stats: MemoStatsProjection | None = None
-        if memo_policy is not None:
-            self._core.memo_policy = memo_policy
-            self._core.memo = TransformMemo(memo_policy.capacity)
-            self._memo_stats = MemoStatsProjection()
-            self.instrumentation.subscribe(self._memo_stats)
+        if memo_policy is None:
+            if memo is not None:
+                raise CacheError(
+                    "an injected memo table requires a memo_policy"
+                )
+            return
+        self._core.memo_policy = memo_policy
+        self._core.memo = (
+            memo if memo is not None else TransformMemo(memo_policy.capacity)
+        )
+        self._memo_stats = MemoStatsProjection()
+        self.instrumentation.subscribe(self._memo_stats)
+
+    def _wire_concurrency(
+        self,
+        concurrency_policy: ConcurrencyPolicy | None,
+        flights: "FlightTable | None",
+    ) -> None:
         self._concurrency_stats: ConcurrencyStatsProjection | None = None
+        if flights is not None:
+            self._core.flights = flights
         if concurrency_policy is not None:
             self._core.concurrency = concurrency_policy
             self._concurrency_stats = ConcurrencyStatsProjection()
             self.instrumentation.subscribe(self._concurrency_stats)
+
+    def _wire_recovery(self, recovery_policy: RecoveryPolicy | None) -> None:
         self._recovery: ConsistencyRecoveryManager | None = None
         if recovery_policy is not None:
             self._recovery = ConsistencyRecoveryManager(
@@ -269,6 +376,8 @@ class DocumentCache:
             self.bus.register(self.cache_id, self._recovery.receive)
         else:
             self.bus.register(self.cache_id, self.apply_invalidation)
+
+    def _schedule_fault_crashes(self, ctx) -> None:
         # Scheduled crash instants apply to every cache on the faulted
         # context, journalled or not — the unjournalled one simply loses
         # its unflushed writes, which is the A13 contrast.
@@ -303,6 +412,11 @@ class DocumentCache:
         raise AttributeError(
             f"{type(self).__name__!r} object has no attribute {name!r}"
         )
+
+    @property
+    def core(self) -> CacheCore:
+        """The state container behind this cache (the cluster seam)."""
+        return self._core
 
     @property
     def admission_policy(self) -> AdmissionPolicy:
@@ -427,13 +541,30 @@ class DocumentCache:
         scheduler = AsyncScheduler()
         results = scheduler.run(
             [
-                self._reads.iterate(reference, scheduler=scheduler)
+                self.iterate_read(reference, scheduler=scheduler)
                 for reference in references
             ],
             return_exceptions=return_exceptions,
         )
         self._drain_prefetch()
         return results
+
+    def iterate_read(self, reference: "DocumentReference", *, scheduler):
+        """One read as a suspendable generator for an external scheduler.
+
+        The cluster-layer seam behind :meth:`read_many`: a coordinator
+        fanning a batch across several caches builds one
+        :class:`~repro.sim.scheduler.AsyncScheduler`, collects each
+        target cache's generator through this method, and drives them
+        together — deterministic interleaving and single-flight
+        coalescing then span cache boundaries.  Callers must
+        :meth:`drain_prefetch` once the batch completes.
+        """
+        return self._reads.iterate(reference, scheduler=scheduler)
+
+    def drain_prefetch(self) -> None:
+        """Service queued collection prefetches (see :meth:`read_many`)."""
+        self._drain_prefetch()
 
     def read_for_fill(self, reference: "DocumentReference"):
         """Serve an upper-level cache: content plus fill metadata.
@@ -478,51 +609,6 @@ class DocumentCache:
                     self._core.emit("prefetch", "filled", key=key)
         finally:
             self._draining_prefetch = False
-
-    # -- verifier quarantine (deprecated bridge over the breaker registry) ----
-
-    def quarantined_verifier_keys(self) -> set[tuple[DocumentId, str]]:
-        """The (document, verifier type) pairs currently quarantined.
-
-        .. deprecated::
-            Quarantine is now a breaker configuration; inspect
-            ``cache.containment.verifiers.open_keys()`` (or the
-            degradation policy's ``breakers``) instead.
-        """
-        warnings.warn(
-            "quarantined_verifier_keys() is deprecated; verifier "
-            "quarantine is now a circuit-breaker configuration — use "
-            "the containment API (cache.containment.verifiers"
-            ".open_keys()) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        keys = set(self._core.degradation.quarantined_keys())
-        if self._containment is not None:
-            keys |= self._containment.verifiers.open_keys()
-        return keys
-
-    def lift_quarantines(self) -> int:
-        """Re-enable every quarantined verifier (call once the underlying
-        fault is known repaired); returns how many were lifted.
-
-        .. deprecated::
-            Quarantine is now a breaker configuration; reset the
-            breaker registry via ``cache.containment.verifiers
-            .reset_all()`` (or the degradation policy's ``breakers``)
-            instead.
-        """
-        warnings.warn(
-            "lift_quarantines() is deprecated; verifier quarantine is "
-            "now a circuit-breaker configuration — use the containment "
-            "API (cache.containment.verifiers.reset_all()) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        lifted = self._core.degradation.lift_quarantines()
-        if self._containment is not None:
-            lifted += self._containment.verifiers.reset_all()
-        return lifted
 
     # -- write path -----------------------------------------------------------
 

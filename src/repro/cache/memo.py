@@ -61,6 +61,7 @@ from repro.cache.cacheability import Cacheability
 from repro.streams.chain import read_chain_properties
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.core import CacheCore
     from repro.cache.instrumentation import StageEvent
     from repro.cache.verifiers import Verifier
     from repro.content.signature import ContentSignature
@@ -222,6 +223,25 @@ class TransformMemo:
             del self._records[key]
         return len(doomed)
 
+    def materialize(
+        self, record: MemoRecord, core: "CacheCore"
+    ) -> bytes | None:
+        """Recover *record*'s output bytes when *core*'s store lacks them.
+
+        The base memo is a strictly local plane: a record whose output
+        bytes have left this cache's content store is dead, so the
+        default answer is ``None`` and the consult path prunes the
+        record.  Shared views (the cluster's cross-shard memo) override
+        this to pull the bytes from a sibling store — charging the
+        inter-cache link on the virtual clock — and seed them into
+        *core*'s store via ``put_signed`` before returning them, making
+        a remote shard's chain execution a local signature-only adopt.
+        A successful materialization leaves exactly one store reference,
+        which the serving entry takes over (the pipeline must not
+        ``adopt`` again on this path).
+        """
+        return None
+
     def records(self) -> list[MemoRecord]:
         """All live records, LRU order (oldest first); for inspection."""
         return list(self._records.values())
@@ -242,6 +262,10 @@ class MemoStats:
     #: Misses served from the memo (each one is a provider fetch plus a
     #: full chain execution that did not happen).
     adoptions: int = 0
+    #: The subset of adoptions whose output bytes had to be pulled from
+    #: a sibling cache's store (cross-shard memo sharing); always zero
+    #: for the strictly local base memo.
+    imports: int = 0
     #: Consults that found no record and fell through to the fetch path.
     misses: int = 0
     #: Consults answered by the UNCACHEABLE negative-cache sentinel.
@@ -299,6 +323,8 @@ class MemoStatsProjection:
         counter = self._COUNTERS.get(event.outcome)
         if counter is not None:
             setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+            if event.outcome == "adopted" and event.payload.get("imported"):
+                self.stats.imports += 1
         elif event.outcome == "purged":
             self.stats.purged += event.payload.get("records", 0)
         elif event.outcome == "evicted":

@@ -514,24 +514,37 @@ class MemoStage:
             # source — skip straight to the fetch path.
             core.emit("memo", "negative-hit", key=ctx.key)
             return None
-        if record.output_signature not in core.store:
-            # Refcount-awareness: the recorded output's bytes left the
-            # store with the last referencing entry; prune and refetch.
-            memo.discard(record)
-            core.emit("memo", "dropped-dead", key=ctx.key)
-            return None
-        content = core.store.get(record.output_signature)
+        imported = False
+        if record.output_signature in core.store:
+            content = core.store.get(record.output_signature)
+        else:
+            # The output bytes left this store with the last referencing
+            # entry.  A shared memo view may still recover them from a
+            # sibling store (one ``put_signed`` reference the serving
+            # entry takes over); the strictly local base memo returns
+            # ``None`` and the record is pruned as dead.
+            materialized = memo.materialize(record, core)
+            if materialized is None:
+                memo.discard(record)
+                core.emit("memo", "dropped-dead", key=ctx.key)
+                return None
+            content = materialized
+            imported = True
         if core.use_verifiers and record.verifiers:
             if not core.memo_policy.verify_on_serve:
+                if imported:
+                    core.store.release(record.output_signature)
                 core.emit("memo", "bypass-verifier", key=ctx.key)
                 return None
             if not self._record_fresh(ctx.key, record, content):
                 # Class (d): an external condition gated this record
                 # and no longer holds — the memo must not serve it.
+                if imported:
+                    core.store.release(record.output_signature)
                 memo.discard(record)
                 core.emit("memo", "dropped-verifier", key=ctx.key)
                 return None
-        return self._serve(ctx, record, content)
+        return self._serve(ctx, record, content, imported=imported)
 
     @staticmethod
     def _chain_blocked(guard, key: EntryKey, chain) -> bool:
@@ -568,7 +581,10 @@ class MemoStage:
                 return False
         return True
 
-    def _serve(self, ctx: ReadContext, record, content: bytes):
+    def _serve(
+        self, ctx: ReadContext, record, content: bytes,
+        *, imported: bool = False,
+    ):
         """Adopt the recorded output signature and build the entry."""
         core = self.core
         key = ctx.key
@@ -577,7 +593,10 @@ class MemoStage:
         for hop in core.topology.hit_path():
             core.ctx.charge_hop(hop, 0)
         core.ctx.charge(ADOPTION_COST_MS)
-        core.store.adopt(record.output_signature)
+        if not imported:
+            # An import already holds the one store reference taken by
+            # ``materialize``'s ``put_signed``; the entry takes it over.
+            core.store.adopt(record.output_signature)
         existing = core.entries.get(key)
         if existing is not None:
             core.remove_entry(existing)
@@ -605,7 +624,13 @@ class MemoStage:
             core.ctx.charge(NOTIFIER_INSTALL_COST_MS * len(installed))
         if core.recovery is not None:
             core.recovery.note_reference(key, ctx.reference)
-        core.emit("memo", "adopted", key=key)
+        if imported:
+            # Imported bytes are new physical content in this store —
+            # make room for them, protecting the entry just built.
+            core.evict_to_capacity(protect=key)
+            core.emit("memo", "adopted", key=key, imported=True)
+        else:
+            core.emit("memo", "adopted", key=key)
         core.emit(
             "read", "miss-memoized", key=key, started_ms=ctx.started_ms,
         )

@@ -113,14 +113,6 @@ class DegradationPolicy(Protocol):
         """Is this (document, verifier type) currently quarantined?"""
         ...  # pragma: no cover - protocol
 
-    def quarantined_keys(self) -> set[tuple["DocumentId", str]]:
-        """All currently quarantined (document, verifier type) pairs."""
-        ...  # pragma: no cover - protocol
-
-    def lift_quarantines(self) -> int:
-        """Clear all quarantines and streaks; returns how many lifted."""
-        ...  # pragma: no cover - protocol
-
 
 @runtime_checkable
 class ContainmentPolicy(Protocol):
@@ -421,8 +413,9 @@ class DefaultDegradationPolicy:
         self.verifier_quarantine_threshold = verifier_quarantine_threshold
         #: The quarantine, re-expressed as circuit breakers: threshold-N
         #: consecutive failures trip, and with no probation delay an
-        #: open breaker is permanent until :meth:`lift_quarantines` —
-        #: exactly the historical dict-and-set semantics.
+        #: open breaker is permanent until ``breakers.reset_all()`` —
+        #: exactly the historical dict-and-set semantics.  Inspect open
+        #: quarantines via ``breakers.open_keys()``.
         self.breakers = BreakerRegistry(
             BreakerConfig(
                 failure_threshold=(
@@ -459,9 +452,3 @@ class DefaultDegradationPolicy:
     def is_quarantined(self, key: tuple["DocumentId", str]) -> bool:
         breaker = self.breakers.peek(key)
         return breaker is not None and breaker.state is BreakerState.OPEN
-
-    def quarantined_keys(self) -> set[tuple["DocumentId", str]]:
-        return self.breakers.open_keys()
-
-    def lift_quarantines(self) -> int:
-        return self.breakers.reset_all()

@@ -486,12 +486,23 @@ class ConsistencyRecoveryManager:
         """Fill hook: remember the live reference behind an entry."""
         self._references[key] = reference
 
-    def resync(self) -> int:
+    def resync(
+        self,
+        doomed: "typing.Callable[[CacheEntry], InvalidationReason | None]"
+        " | None" = None,
+    ) -> int:
         """Reconcile every cached entry against live server state.
 
         Divergent entries are dropped with an invalidation attributed to
         the paper consistency class that explains the divergence; the
         channel then starts a fresh epoch.  Returns the repair count.
+
+        *doomed* generalizes the sweep for the cluster layer: evaluated
+        before the divergence checks, a non-``None`` reason drops the
+        entry through the same repair path with that attribution.  Ring
+        rebalancing and shard loss hand in a predicate condemning
+        entries whose keys no longer place on this shard, so topology
+        repair reuses anti-entropy instead of growing a second path.
         """
         core = self.core
         core.emit("resync", "started", entries=len(core.entries))
@@ -501,10 +512,12 @@ class ConsistencyRecoveryManager:
         core.memo_purge("resync")
         repairs = 0
         for key, entry in list(core.entries.items()):
-            reference = self._reference_for(entry)
-            if reference is None:
-                continue
-            reason = self._divergence(reference, entry)
+            reason = doomed(entry) if doomed is not None else None
+            if reason is None:
+                reference = self._reference_for(entry)
+                if reference is None:
+                    continue
+                reason = self._divergence(reference, entry)
             if reason is None:
                 continue
             core.drop(entry, reason, origin="resync")

@@ -1,0 +1,455 @@
+"""The cluster coordinator: N cache shards behind one read/write API.
+
+:class:`CacheCluster` owns N :class:`~repro.cache.manager.DocumentCache`
+shards and routes every ``(document, user)`` entry key to one of them
+through a pluggable :class:`~repro.cluster.placement.PlacementPolicy`
+(consistent hashing by default).  The shards are real, fully wired
+caches — each with its own content store, entry table, projections and
+(optionally) recovery manager — built through the manager's injection
+seams rather than a parallel construction path:
+
+* one :class:`~repro.cache.notifiers.InvalidationBus` is shared, each
+  shard registering its own cache id, so the paper's notifier model
+  (AFS-style callbacks to *many* caches) finally has many caches;
+* with a :class:`~repro.cluster.policy.ClusterPolicy`, one
+  :class:`~repro.cluster.memo_share.SharedTransformMemo` is installed
+  as every shard's memo (cross-shard memo sharing) and one
+  :class:`~repro.sim.scheduler.FlightTable` as every shard's flight
+  table (single-flight coalescing spanning shard boundaries);
+* :meth:`read_many` fans a batch across shards on *one* deterministic
+  :class:`~repro.sim.scheduler.AsyncScheduler`, so cross-shard batches
+  interleave and coalesce exactly like same-shard ones;
+* ring rebalancing and shard loss reuse the A13 anti-entropy resync —
+  :meth:`~repro.cache.recovery.ConsistencyRecoveryManager.resync` with
+  a *doomed* predicate condemning entries whose keys no longer place on
+  the shard — instead of a second repair path.
+
+With ``cluster_policy=None`` the shards are fully isolated (private
+memos, private flights): the A17 baseline arm, and — at one shard —
+byte-identical to a plain ``DocumentCache``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cache.consistency import InvalidationReason
+from repro.cache.entry import EntryKey
+from repro.cache.manager import CacheReadOutcome, DocumentCache
+from repro.cache.memo import MemoStats
+from repro.cache.notifiers import InvalidationBus
+from repro.cache.stats import CacheStats
+from repro.cluster.memo_share import SharedTransformMemo
+from repro.cluster.placement import HashRingPolicy, PlacementPolicy
+from repro.cluster.policy import ClusterPolicy
+from repro.errors import CacheError
+from repro.sim.scheduler import AsyncScheduler, FlightTable
+from repro.sim.topology import ClusterTopology
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.entry import CacheEntry
+    from repro.cache.instrumentation import ConcurrencyStats
+    from repro.cache.policies import (
+        ConcurrencyPolicy,
+        MemoPolicy,
+        RecoveryPolicy,
+    )
+    from repro.ids import DocumentId, UserId
+    from repro.placeless.kernel import PlacelessKernel
+    from repro.placeless.reference import DocumentReference
+
+__all__ = ["CacheCluster"]
+
+
+class CacheCluster:
+    """A consistent-hash cluster of document caches.
+
+    Parameters
+    ----------
+    kernel, shard_count, capacity_bytes:
+        The shared Placeless kernel, how many shards to build, and the
+        physical content-store capacity *per shard*.
+    cluster_policy:
+        What the shards may share (:class:`~repro.cluster.policy
+        .ClusterPolicy`); ``None`` builds fully isolated shards.
+        ``share_memo`` requires a ``memo_policy``.
+    placement_policy:
+        The ``entry key → shard`` decision; defaults to
+        :class:`~repro.cluster.placement.HashRingPolicy` over the
+        initial shards.  A policy supplied with shards already
+        registered is used as-is; missing shard names are added.
+    topology:
+        Per-shard link costs (:class:`~repro.sim.topology
+        .ClusterTopology`); a default all-pairs ``shard-to-shard``
+        topology is built when omitted.  Installed into the kernel's
+        latency model either way so cross-shard transfers charge the
+        virtual clock.
+    memo_policy, concurrency_policy, recovery_policy:
+        Forwarded to every shard.  A recovery policy is required for
+        :meth:`rebalance`, :meth:`add_shard` and :meth:`lose_shard`
+        (topology repair *is* an anti-entropy resync).
+    name:
+        Prefix for shard names (``{name}-0`` … ``{name}-{N-1}``).
+    shard_kwargs:
+        Extra keyword arguments forwarded verbatim to every
+        ``DocumentCache`` (write mode, feature flags, …).  Must not
+        contain stateful per-cache objects — every shard receives the
+        same mapping.
+    """
+
+    def __init__(
+        self,
+        kernel: "PlacelessKernel",
+        shard_count: int,
+        capacity_bytes: int,
+        *,
+        cluster_policy: ClusterPolicy | None = None,
+        placement_policy: PlacementPolicy | None = None,
+        topology: ClusterTopology | None = None,
+        memo_policy: "MemoPolicy | None" = None,
+        concurrency_policy: "ConcurrencyPolicy | None" = None,
+        recovery_policy: "RecoveryPolicy | None" = None,
+        name: str = "cluster",
+        shard_kwargs: dict | None = None,
+    ) -> None:
+        if shard_count < 1:
+            raise CacheError(f"shard_count must be >= 1: {shard_count}")
+        if (
+            cluster_policy is not None
+            and cluster_policy.share_memo
+            and memo_policy is None
+        ):
+            raise CacheError(
+                "cluster_policy.share_memo requires a memo_policy"
+            )
+        self.kernel = kernel
+        self.ctx = kernel.ctx
+        self.name = name
+        self.cluster_policy = cluster_policy
+        self.capacity_bytes = capacity_bytes
+        self._memo_policy = memo_policy
+        self._concurrency = concurrency_policy
+        self._recovery_policy = recovery_policy
+        self._shard_kwargs = dict(shard_kwargs or {})
+        self._next_index = 0
+        names = [self._next_name() for _ in range(shard_count)]
+        self._placement = placement_policy or HashRingPolicy(names)
+        for shard_name in names:
+            if shard_name not in self._placement.shards():
+                self._placement.add_shard(shard_name)
+        self.topology = topology or ClusterTopology(shards=list(names))
+        for shard_name in names:
+            if shard_name not in self.topology.shards:
+                self.topology.add_shard(shard_name)
+        self.topology.install(self.ctx.latency)
+        self.bus = InvalidationBus(self.ctx)
+        self.shared_memo: SharedTransformMemo | None = None
+        self.shared_flights: FlightTable | None = None
+        if cluster_policy is not None and cluster_policy.share_memo:
+            assert memo_policy is not None
+            capacity = (
+                cluster_policy.shared_memo_capacity
+                if cluster_policy.shared_memo_capacity is not None
+                else memo_policy.capacity * shard_count
+            )
+            self.shared_memo = SharedTransformMemo(
+                capacity, topology=self.topology
+            )
+        if cluster_policy is not None and cluster_policy.share_flights:
+            self.shared_flights = FlightTable()
+        self._shards: dict[str, DocumentCache] = {}
+        for shard_name in names:
+            self._build_shard(shard_name)
+        #: Cluster-level invalidation bookkeeping (A17's fan-out metric).
+        self.invalidations = 0
+        self.invalidation_shard_touches = 0
+        #: Entries repaired by every :meth:`rebalance` so far, including
+        #: the passes :meth:`add_shard`/:meth:`lose_shard` run
+        #: internally (A17's topology-churn metric).
+        self.rebalance_repairs = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def _next_name(self) -> str:
+        shard_name = f"{self.name}-{self._next_index}"
+        self._next_index += 1
+        return shard_name
+
+    def _build_shard(self, shard_name: str) -> DocumentCache:
+        shard = DocumentCache(
+            self.kernel,
+            capacity_bytes=self.capacity_bytes,
+            bus=self.bus,
+            name=shard_name,
+            memo_policy=self._memo_policy,
+            concurrency_policy=self._concurrency,
+            recovery_policy=self._recovery_policy,
+            memo=self.shared_memo,
+            flights=self.shared_flights,
+            **self._shard_kwargs,
+        )
+        if self.shared_memo is not None:
+            self.shared_memo.attach(shard_name, shard.core)
+        self._shards[shard_name] = shard
+        return shard
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def shards(self) -> dict[str, DocumentCache]:
+        """Live shards by name (insertion order)."""
+        return dict(self._shards)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_for(self, reference: "DocumentReference") -> DocumentCache:
+        """The shard a reference's entry key currently places on."""
+        return self._shards[
+            self._placement.place(EntryKey.for_reference(reference))
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards.values())
+
+    def describe(self) -> str:
+        """One line per shard plus the placement summary."""
+        lines = [
+            f"{self.name}: {len(self._shards)} shards, "
+            f"{len(self)} entries, policy="
+            f"{type(self._placement).__name__}"
+        ]
+        for shard_name, shard in self._shards.items():
+            lines.append(
+                f"  {shard_name}: {len(shard)} entries, "
+                f"{shard.used_bytes}/{shard.capacity_bytes} bytes"
+            )
+        return "\n".join(lines)
+
+    # -- aggregated statistics ------------------------------------------------
+
+    @staticmethod
+    def _sum_counters(total, parts) -> None:
+        """Sum dataclass counter fields of *parts* into *total*."""
+        for part in parts:
+            for field in dataclasses.fields(part):
+                setattr(
+                    total, field.name,
+                    getattr(total, field.name) + getattr(part, field.name),
+                )
+
+    def aggregate_stats(self) -> CacheStats:
+        """Numeric cache counters summed across every live shard."""
+        total = CacheStats()
+        self._sum_counters(
+            total, (shard.stats for shard in self._shards.values())
+        )
+        return total
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over reads, cluster-wide (0.0 when nothing was read)."""
+        stats = self.aggregate_stats()
+        reads = stats.hits + stats.misses
+        return stats.hits / reads if reads else 0.0
+
+    @property
+    def memo_stats(self) -> MemoStats | None:
+        """Memo counters summed across shards (``None`` without memo)."""
+        per_shard = [
+            shard.memo_stats
+            for shard in self._shards.values()
+            if shard.memo_stats is not None
+        ]
+        if not per_shard:
+            return None
+        total = MemoStats()
+        self._sum_counters(total, per_shard)
+        return total
+
+    @property
+    def concurrency_stats(self) -> "ConcurrencyStats | None":
+        """Single-flight counters summed across shards."""
+        per_shard = [
+            shard.concurrency_stats
+            for shard in self._shards.values()
+            if shard.concurrency_stats is not None
+        ]
+        if not per_shard:
+            return None
+        total = type(per_shard[0])()
+        self._sum_counters(total, per_shard)
+        return total
+
+    # -- read/write routing ---------------------------------------------------
+
+    def _route(self, reference: "DocumentReference") -> DocumentCache:
+        key = EntryKey.for_reference(reference)
+        self._placement.note_access(key)
+        return self._shards[self._placement.place(key)]
+
+    def read(self, reference: "DocumentReference") -> CacheReadOutcome:
+        """Read through the owning shard."""
+        return self._route(reference).read(reference)
+
+    def write(self, reference: "DocumentReference", content: bytes) -> float:
+        """Write through the owning shard; returns elapsed virtual ms."""
+        return self._route(reference).write(reference, content)
+
+    def read_many(
+        self,
+        references: typing.Sequence["DocumentReference"],
+        *,
+        return_exceptions: bool = False,
+    ) -> list[CacheReadOutcome]:
+        """Read a batch across shards; outcomes in submission order.
+
+        With a ``concurrency_policy`` the whole batch — regardless of
+        how many shards it touches — runs on one deterministic
+        :class:`~repro.sim.scheduler.AsyncScheduler`: each reference's
+        pipeline generator comes from its owning shard via
+        :meth:`~repro.cache.manager.DocumentCache.iterate_read`, and
+        with shared flights a miss on shard A parks followers from
+        shard B on the same leader.  Without one, the batch degenerates
+        to sequential routed reads (the byte-equivalence baseline).
+        """
+        if self._concurrency is None:
+            if not return_exceptions:
+                return [self.read(reference) for reference in references]
+            outcomes: list = []
+            for reference in references:
+                try:
+                    outcomes.append(self.read(reference))
+                except Exception as error:
+                    outcomes.append(error)
+            return outcomes
+        scheduler = AsyncScheduler()
+        touched: dict[str, DocumentCache] = {}
+        generators = []
+        for reference in references:
+            shard = self._route(reference)
+            touched[shard.cache_id] = shard
+            generators.append(
+                shard.iterate_read(reference, scheduler=scheduler)
+            )
+        results = scheduler.run(
+            generators, return_exceptions=return_exceptions
+        )
+        for shard in touched.values():
+            shard.drain_prefetch()
+        return results
+
+    def flush_all(self) -> int:
+        """Flush buffered write-backs on every shard."""
+        return sum(shard.flush_all() for shard in self._shards.values())
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate_document(
+        self, document_id: "DocumentId", user_id: "UserId | None" = None
+    ) -> int:
+        """Drop a document's entries on every shard; returns the count.
+
+        Explicit invalidation cannot trust placement — older entries
+        may predate a rebalance — so it fans out to every shard.  The
+        fan-out bookkeeping (how many shards actually held entries)
+        feeds A17's invalidation fan-out metric.
+        """
+        dropped_total = 0
+        shards_touched = 0
+        for shard in self._shards.values():
+            dropped = shard.invalidate_document(document_id, user_id)
+            dropped_total += dropped
+            if dropped:
+                shards_touched += 1
+        self.invalidations += 1
+        self.invalidation_shard_touches += shards_touched
+        return dropped_total
+
+    def clear(self) -> None:
+        """Drop every entry on every shard."""
+        for shard in self._shards.values():
+            shard.clear()
+
+    # -- topology changes: rebalance-as-resync --------------------------------
+
+    def _misplacement(
+        self, shard_name: str
+    ) -> "typing.Callable[[CacheEntry], InvalidationReason | None]":
+        """Doom predicate: entries whose key no longer places here."""
+
+        def doomed(entry: "CacheEntry") -> InvalidationReason | None:
+            if self._placement.place(entry.key) != shard_name:
+                return InvalidationReason.EXPLICIT
+            return None
+
+        return doomed
+
+    def rebalance(self) -> int:
+        """Anti-entropy resync of every shard against the current ring.
+
+        Each shard's :class:`~repro.cache.recovery
+        .ConsistencyRecoveryManager` runs its normal resync with a
+        doom predicate condemning re-placed entries — the A13 repair
+        path, reused verbatim for topology repair.  Returns total
+        entries repaired (dropped) across the cluster.
+        """
+        repairs = 0
+        for shard_name, shard in self._shards.items():
+            if shard.recovery is None:
+                raise CacheError(
+                    "rebalance reuses anti-entropy resync: every shard "
+                    "needs a recovery_policy"
+                )
+            repairs += shard.recovery.resync(
+                doomed=self._misplacement(shard_name)
+            )
+        self.rebalance_repairs += repairs
+        return repairs
+
+    def add_shard(self) -> str:
+        """Grow the cluster by one shard and rebalance onto it.
+
+        Returns the new shard's name.  Consistent hashing moves only
+        ≈ ``K / (N+1)`` keys; the survivors' re-placed entries are
+        dropped through the reused resync, and — with cross-shard memo
+        sharing — the new shard warms those keys as signature-only
+        adoptions instead of cold chain executions.
+        """
+        shard_name = self._next_name()
+        self._placement.add_shard(shard_name)
+        self.topology.add_shard(shard_name)
+        self._build_shard(shard_name)
+        self.rebalance()
+        return shard_name
+
+    def lose_shard(self, shard_name: str) -> int:
+        """Simulate one shard's failure; survivors repair via resync.
+
+        The dead shard's volatile state vanishes (a crash), its bus
+        registration and leases are torn down, and it leaves the ring
+        — with the shared memo plane *detached first*, because the
+        cluster-wide memo view outlives any one member (records whose
+        bytes died with the shard self-heal at consult time).  The
+        survivors then run the same rebalance-as-resync pass, after
+        which the dead shard's keys place on them.  Returns the
+        survivors' repair count.
+        """
+        try:
+            shard = self._shards.pop(shard_name)
+        except KeyError:
+            raise CacheError(f"unknown shard: {shard_name!r}") from None
+        self._placement.remove_shard(shard_name)
+        self.topology.remove_shard(shard_name)
+        if self.shared_memo is not None:
+            self.shared_memo.detach(shard_name)
+            # The dead process's view dies with it; the shared plane
+            # must not be purged by this one member's crash.
+            shard.core.memo = None
+        shard.crash()
+        if shard.recovery is not None:
+            shard.recovery.stop()
+        self.bus.unregister(shard.cache_id)
+        return self.rebalance()

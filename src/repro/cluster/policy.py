@@ -1,0 +1,57 @@
+"""The cluster layer's opt-in configuration seam.
+
+Mirrors the cache's policy idiom (:mod:`repro.cache.policies`): a
+``runtime_checkable`` protocol plus a validating default.  A
+:class:`~repro.cluster.coordinator.CacheCluster` built with
+``cluster_policy=None`` wires N fully isolated shards — private memo
+tables, private flight tables, no cross-shard traffic — which is both
+the A17 baseline arm and the guarantee that single-cache golden digests
+are untouched (a one-shard cluster with no policy is byte-identical to
+a plain :class:`~repro.cache.manager.DocumentCache`).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import CacheError
+
+__all__ = ["ClusterPolicy", "DefaultClusterPolicy"]
+
+
+@runtime_checkable
+class ClusterPolicy(Protocol):
+    """What the shards of one cluster are allowed to share."""
+
+    #: One :class:`~repro.cluster.memo_share.SharedTransformMemo` across
+    #: every shard: a chain execution recorded by any shard answers
+    #: every other shard's miss as a signature-only adopt, importing
+    #: the output bytes over the shard link when necessary.
+    share_memo: bool
+    #: One :class:`~repro.sim.scheduler.FlightTable` across every
+    #: shard: single-flight coalescing on the ``(source signature,
+    #: chain fingerprint)`` memo plane spans shard boundaries, so a
+    #: 32-way cross-shard stampede still runs one chain.
+    share_flights: bool
+    #: Capacity of the shared memo table; ``None`` scales the shard
+    #: memo policy's capacity by the shard count.
+    shared_memo_capacity: int | None
+
+
+class DefaultClusterPolicy:
+    """Everything shared — the configuration A17's treatment arm runs."""
+
+    def __init__(
+        self,
+        share_memo: bool = True,
+        share_flights: bool = True,
+        shared_memo_capacity: int | None = None,
+    ) -> None:
+        if shared_memo_capacity is not None and shared_memo_capacity < 1:
+            raise CacheError(
+                "shared_memo_capacity must be >= 1: "
+                f"{shared_memo_capacity}"
+            )
+        self.share_memo = share_memo
+        self.share_flights = share_flights
+        self.shared_memo_capacity = shared_memo_capacity

@@ -90,6 +90,10 @@ DEFAULT_HOPS: dict[str, HopCost] = {
     "app-to-reference": HopCost(fixed_ms=1.2, per_kb_ms=0.35),
     "reference-to-base": HopCost(fixed_ms=1.0, per_kb_ms=0.30),
     "base-to-repository": HopCost(fixed_ms=0.8, per_kb_ms=0.25),
+    # Peer link between two cache shards in a cluster (same machine
+    # room as the reference servers, cheaper than the WAN-ish hops but
+    # never free): cross-shard memo imports and gossip are charged here.
+    "shard-to-shard": HopCost(fixed_ms=0.4, per_kb_ms=0.12),
 }
 
 #: Default repository table.  ``parcweb`` is an intranet web server,

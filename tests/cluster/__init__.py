@@ -1,0 +1,1 @@
+"""Cluster-layer tier: sharded topology, placement, cross-shard sharing."""

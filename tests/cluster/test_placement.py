@@ -1,0 +1,179 @@
+"""Placement properties: ring balance, minimal movement, pinning.
+
+The consistent-hash ring's contract is structural — deterministic
+placement, membership, and *minimal key movement* under shard
+join/leave (only keys entering or leaving the changed shard may move).
+Those are checked as hypothesis properties over seed-derived key
+populations.  Balance is checked at pinned shapes (md5 is
+deterministic, so the bound either holds forever or never).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.entry import EntryKey
+from repro.cluster.placement import (
+    HashRingPolicy,
+    PlacementPolicy,
+    PlacementRing,
+    ReinforcedCounterPolicy,
+    placement_label,
+)
+from repro.errors import WorkloadError
+
+
+def _keys(n: int, seed: int = 0) -> list[EntryKey]:
+    """*n* distinct seed-derived (document, user) keys."""
+    state = seed or 1
+    keys = []
+    for index in range(n):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        keys.append(
+            EntryKey(f"doc-{seed}-{index}", f"user-{state % 97}")
+        )
+    return keys
+
+
+class TestPlacementRing:
+    def test_empty_ring_refuses_placement(self):
+        with pytest.raises(WorkloadError):
+            PlacementRing().place(EntryKey("d", "u"))
+
+    def test_duplicate_and_unknown_shards_rejected(self):
+        ring = PlacementRing(["a"])
+        with pytest.raises(WorkloadError):
+            ring.add_shard("a")
+        with pytest.raises(WorkloadError):
+            ring.remove_shard("b")
+        with pytest.raises(WorkloadError):
+            PlacementRing(replicas=0)
+
+    def test_membership_and_len(self):
+        ring = PlacementRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.shards == ["a", "b"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_placement_is_deterministic_and_member(self, seed):
+        ring = PlacementRing(["a", "b", "c"])
+        for key in _keys(50, seed):
+            shard = ring.place(key)
+            assert shard == ring.place(key)
+            assert shard in ring
+
+    def test_balance_within_bounds(self):
+        # 64 virtual nodes per shard keeps the max/ideal load factor
+        # small; assert a loose 2x bound plus no starved shard.
+        ring = PlacementRing(["a", "b", "c", "d"])
+        counts = dict.fromkeys(ring.shards, 0)
+        keys = _keys(2000)
+        for key in keys:
+            counts[ring.place(key)] += 1
+        ideal = len(keys) / len(ring)
+        assert min(counts.values()) > 0
+        assert max(counts.values()) <= 2.0 * ideal
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_join_moves_keys_only_onto_the_new_shard(self, seed):
+        ring = PlacementRing(["a", "b", "c"])
+        keys = _keys(120, seed)
+        before = {placement_label(k): ring.place(k) for k in keys}
+        ring.add_shard("d")
+        for key in keys:
+            after = ring.place(key)
+            if after != before[placement_label(key)]:
+                assert after == "d"
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_leave_moves_only_the_dead_shards_keys(self, seed):
+        ring = PlacementRing(["a", "b", "c", "d"])
+        keys = _keys(120, seed)
+        before = {placement_label(k): ring.place(k) for k in keys}
+        ring.remove_shard("d")
+        for key in keys:
+            previous = before[placement_label(key)]
+            after = ring.place(key)
+            if previous != "d":
+                assert after == previous
+            else:
+                assert after != "d"
+
+
+class TestHashRingPolicy:
+    def test_satisfies_protocol_and_delegates(self):
+        policy = HashRingPolicy(["a", "b"])
+        assert isinstance(policy, PlacementPolicy)
+        key = EntryKey("doc", "user")
+        placed = policy.place(key)
+        policy.note_access(key)  # stateless: must not change placement
+        assert policy.place(key) == placed
+        policy.add_shard("c")
+        assert policy.shards() == ["a", "b", "c"]
+        policy.remove_shard("c")
+        assert policy.shards() == ["a", "b"]
+
+
+class TestReinforcedCounterPolicy:
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            ReinforcedCounterPolicy(["a"], pin_threshold=0)
+        with pytest.raises(WorkloadError):
+            ReinforcedCounterPolicy(["a"], pin_threshold=3, counter_cap=2)
+        with pytest.raises(WorkloadError):
+            ReinforcedCounterPolicy(["a"], decay_interval=0)
+
+    def test_hot_key_pins_to_its_serving_shard(self):
+        policy = ReinforcedCounterPolicy(
+            ["a", "b", "c"], pin_threshold=3, decay_interval=10_000
+        )
+        key = EntryKey("hot-doc", "hot-user")
+        home = policy.place(key)
+        for _ in range(3):
+            policy.note_access(key)
+        assert policy.pinned == {placement_label(key): home}
+        # A ring change that would move the key is deferred by the pin.
+        policy.add_shard("d")
+        assert policy.place(key) == home
+
+    def test_cold_keys_never_pin(self):
+        policy = ReinforcedCounterPolicy(
+            ["a", "b"], pin_threshold=3, decay_interval=10_000
+        )
+        for key in _keys(40):
+            policy.note_access(key)  # one access each: all cold
+        assert policy.pinned == {}
+
+    def test_decay_unpins_cooled_keys(self):
+        policy = ReinforcedCounterPolicy(
+            ["a", "b"], pin_threshold=4, counter_cap=4, decay_interval=8
+        )
+        hot = EntryKey("hot", "u")
+        for _ in range(4):
+            policy.note_access(hot)
+        assert placement_label(hot) in policy.pinned
+        # Fill out decay intervals with cold traffic; 4 → 2 → 1 < 4.
+        cold = _keys(16, seed=9)
+        for index in range(16):
+            policy.note_access(cold[index])
+        assert placement_label(hot) not in policy.pinned
+        assert policy.place(hot) == policy.ring.place(hot)
+
+    def test_losing_the_pinned_shard_voids_the_pin(self):
+        policy = ReinforcedCounterPolicy(
+            ["a", "b", "c"], pin_threshold=2, decay_interval=10_000
+        )
+        key = EntryKey("doc", "user")
+        home = policy.place(key)
+        for _ in range(2):
+            policy.note_access(key)
+        assert policy.pinned[placement_label(key)] == home
+        policy.remove_shard(home)
+        assert placement_label(key) not in policy.pinned
+        assert policy.place(key) != home

@@ -88,9 +88,8 @@ class TestServeStaleOnError:
         assert cache.stats.stale_serve_rejected == 0
 
 
-# The quarantine surface is exercised through the deprecated manager
-# bridge on purpose — it must keep working until the bridge is removed.
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+# Quarantine is a breaker configuration: inspect and reset it through
+# the degradation policy's breaker registry.
 class TestVerifierQuarantine:
     def test_repeated_failures_quarantine_then_force_misses(self):
         kernel, _, reference, cache = _deployment(
@@ -105,13 +104,13 @@ class TestVerifierQuarantine:
         assert cache.stats.quarantined_verifiers == 0
         cache.read(reference)  # failure 2 → quarantined
         assert cache.stats.quarantined_verifiers == 1
-        assert cache.quarantined_verifier_keys()
+        assert cache.degradation_policy.breakers.open_keys()
         before = cache.stats.quarantine_forced_misses
         outcome = cache.read(reference)  # no verifier runs: forced miss
         assert not outcome.hit
         assert cache.stats.quarantine_forced_misses == before + 1
 
-    def test_lift_quarantines_restores_verification(self):
+    def test_breaker_reset_restores_verification(self):
         kernel, _, reference, cache = _deployment(
             verifier_quarantine_threshold=1,
         )
@@ -120,11 +119,12 @@ class TestVerifierQuarantine:
             kernel.ctx.clock, verifier_failure_probability=1.0
         )
         cache.read(reference)
-        assert cache.quarantined_verifier_keys()
+        breakers = cache.degradation_policy.breakers
+        assert breakers.open_keys()
         # The verifier fault is repaired; lift the quarantine.
         kernel.ctx.faults = None
-        assert cache.lift_quarantines() == 1
-        assert not cache.quarantined_verifier_keys()
+        assert breakers.reset_all() == 1
+        assert not breakers.open_keys()
         cache.read(reference)  # refill under working verifiers
         assert cache.read(reference).hit  # verified hit again
 

@@ -243,14 +243,13 @@ class TestFaultedChaosInvariants:
         for signature, count in by_signature.items():
             assert cache.store.refcount(signature) == count
 
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_transparency_restored_after_recovery(self, faulted_chaos_run):
         kernel, corpus, population, cache, _, _ = faulted_chaos_run
         # Repair the world: past every window, faults off, quarantines
         # lifted, pending delayed deliveries drained.
         kernel.ctx.clock.advance(5_000.0)
         kernel.ctx.faults = None
-        cache.lift_quarantines()
+        cache.degradation_policy.breakers.reset_all()
         for user_index in range(3):
             for document_index in range(8):
                 reference = population.reference(user_index, document_index)

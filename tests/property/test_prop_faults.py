@@ -119,7 +119,7 @@ class FaultedCacheMachine(RuleBasedStateMachine):
     @rule()
     def repair_the_world(self):
         self.kernel.ctx.faults = self._healthy_plan
-        self.cache.lift_quarantines()
+        self.cache.degradation_policy.breakers.reset_all()
 
     @invariant()
     def bookkeeping_holds(self):
@@ -172,7 +172,7 @@ class TestFaultedReadSequences:
                 except ProviderError:
                     pass
         kernel.ctx.faults = None
-        cache.lift_quarantines()
+        cache.degradation_policy.breakers.reset_all()
         for user in range(N_USERS):
             for doc in range(N_DOCS):
                 assert (

@@ -312,27 +312,22 @@ class TestNotifierFirewall:
         assert guard.run_notifier(prop, event, lambda e: "sent") == "sent"
 
 
-class TestDeprecatedQuarantineBridge:
-    def test_bridge_warns_and_delegates(self):
+class TestQuarantineOwnedByBreakers:
+    def test_deprecated_bridge_is_gone(self):
+        _, cache, _ = _deployment(None)
+        assert not hasattr(cache, "quarantined_verifier_keys")
+        assert not hasattr(cache, "lift_quarantines")
+
+    def test_breaker_registry_owns_quarantine(self):
         _, cache, _ = _deployment(DefaultContainmentPolicy())
         guard = cache.containment
         key = ("doc", "TTLVerifier")
         breaker = guard.verifiers.get(key)
         for _ in range(guard.verifiers.config.failure_threshold):
             breaker.record_failure()
-        with pytest.warns(DeprecationWarning):
-            assert key in cache.quarantined_verifier_keys()
-        with pytest.warns(DeprecationWarning):
-            assert cache.lift_quarantines() == 1
-        with pytest.warns(DeprecationWarning):
-            assert not cache.quarantined_verifier_keys()
-
-    def test_bridge_works_without_containment(self):
-        _, cache, _ = _deployment(None)
-        with pytest.warns(DeprecationWarning):
-            assert cache.quarantined_verifier_keys() == set()
-        with pytest.warns(DeprecationWarning):
-            assert cache.lift_quarantines() == 0
+        assert key in guard.verifiers.open_keys()
+        assert guard.verifiers.reset_all() == 1
+        assert not guard.verifiers.open_keys()
 
 
 class TestOffByDefaultGuarantee:

@@ -246,7 +246,7 @@ class TestCLIRouting:
             "a6", "a7", "a8", "a9", "a10", "a11",
             "a12", "faults", "a13", "recovery",
             "a14", "containment", "a15", "memo",
-            "a16", "stampede",
+            "a16", "stampede", "a17", "cluster",
         }
         for module_name in _EXPERIMENT_MODULES.values():
             module = importlib.import_module(module_name)

@@ -105,25 +105,25 @@ class TestDefaultDegradationPolicy:
         for _ in range(100):
             policy.note_verifier_failure(key)
         assert not policy.is_quarantined(key)
-        assert policy.quarantined_keys() == set()
+        assert policy.breakers.open_keys() == set()
 
-    def test_lift_quarantines_clears_streaks_too(self):
+    def test_breaker_reset_clears_streaks_too(self):
         policy = DefaultDegradationPolicy(verifier_quarantine_threshold=1)
         a = (DocumentId(1), "A")
         b = (DocumentId(2), "B")
         policy.note_verifier_failure(a)
         policy.note_verifier_failure(b)
-        assert policy.quarantined_keys() == {a, b}
-        assert policy.lift_quarantines() == 2
-        assert policy.quarantined_keys() == set()
+        assert policy.breakers.open_keys() == {a, b}
+        assert policy.breakers.reset_all() == 2
+        assert policy.breakers.open_keys() == set()
         # Streaks were cleared: one failure re-quarantines (threshold 1).
         assert policy.note_verifier_failure(a)
 
-    def test_quarantined_keys_returns_a_copy(self):
+    def test_open_keys_returns_a_copy(self):
         policy = DefaultDegradationPolicy(verifier_quarantine_threshold=1)
         key = (DocumentId(1), "A")
         policy.note_verifier_failure(key)
-        snapshot = policy.quarantined_keys()
+        snapshot = policy.breakers.open_keys()
         snapshot.clear()
         assert policy.is_quarantined(key)
 
