@@ -3,11 +3,12 @@
 Commands
 --------
 ``bench [EXPERIMENT] [--faults [SCENARIO]]``
-    Run one experiment (``table1``, ``a1`` … ``a17``) or all of them;
+    Run one experiment (``table1``, ``a1`` … ``a18``) or all of them;
     ``--faults`` runs it under a named chaos fault scenario
     (``standard`` when the name is omitted, ``partition`` / ``crash``
-    to add a bus blackout or a mid-run cache crash, or ``misbehave``
-    to add raising/runaway/corrupting active-property code).
+    to add a bus blackout or a mid-run cache crash, ``misbehave``
+    to add raising/runaway/corrupting active-property code, or
+    ``diskchaos`` to add a hostile disk under the durable L2 tier).
 ``demo``
     Run the quickstart scenario inline (no file needed).
 ``info``
@@ -46,6 +47,8 @@ _EXPERIMENT_MODULES = {
     "stampede": "repro.bench.stampede",
     "a17": "repro.bench.cluster",
     "cluster": "repro.bench.cluster",
+    "a18": "repro.bench.persistence",
+    "persistence": "repro.bench.persistence",
 }
 
 
@@ -163,7 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
             "topology — shard-count sweep with cross-shard memo sharing "
             "on vs off, topology churn repaired via resync, and a "
             "single-cache parity probe (alias: cluster; supports "
-            "--smoke).  Examples: "
+            "--smoke), a18 persistent L2 tier — warm-vs-cold restart "
+            "hit ratios, restart-to-recovery latency and disk-fault "
+            "degradation with crash instants mid-run (alias: "
+            "persistence; supports --smoke).  Examples: "
             "'repro bench a12', 'repro bench a1 --faults', "
             "'repro bench a14', 'repro bench table1 --faults partition', "
             "'repro bench --faults' (all experiments under chaos)."
@@ -184,19 +190,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a17, faults (alias for a12), recovery (alias "
+        help="table1, a1..a18, faults (alias for a12), recovery (alias "
         "for a13), containment (alias for a14), memo (alias for a15), "
-        "stampede (alias for a16), cluster (alias for a17), or all "
-        "(default)",
+        "stampede (alias for a16), cluster (alias for a17), "
+        "persistence (alias for a18), or all (default)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
         help="reduced-size run for CI perf-smoke jobs (supported by "
-        "a15, a16 and a17; still writes the BENCH_<ID>.json artifact)",
+        "a15, a16, a17 and a18; still writes the BENCH_<ID>.json "
+        "artifact)",
     )
     bench.add_argument(
         "--faults", nargs="?", const="standard", default=None,
-        choices=("standard", "partition", "crash", "misbehave"),
+        choices=("standard", "partition", "crash", "misbehave", "diskchaos"),
         metavar="SCENARIO",
         help="inject a named chaos fault scenario into every simulation "
         "context built while the experiment runs.  'standard' (the "
@@ -210,7 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
         "seed-deterministic property misbehaviour (raise / runaway "
         "cost / corrupt output) at the stream-wrapper seam, the "
         "faults the containment layer (circuit breakers, budgets, "
-        "firewalls) absorbs",
+        "firewalls) absorbs.  'diskchaos': crash-scenario chaos plus a "
+        "hostile disk (failed writes, lying fsyncs, corrupted records, "
+        "slow I/O) under any cache with a storage_policy, absorbed via "
+        "CRC drops, the storage breaker and L1-only fallback",
     )
     bench.set_defaults(func=_cmd_bench)
 

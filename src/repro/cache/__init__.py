@@ -55,8 +55,10 @@ from repro.cache.policies import (
     DefaultContainmentPolicy,
     DefaultDegradationPolicy,
     DefaultRecoveryPolicy,
+    DefaultStoragePolicy,
     DegradationPolicy,
     RecoveryPolicy,
+    StoragePolicy,
     VoteAdmissionPolicy,
 )
 from repro.cache.recovery import (
@@ -126,6 +128,8 @@ __all__ = [
     "ExecutionBudget",
     "RecoveryPolicy",
     "DefaultRecoveryPolicy",
+    "StoragePolicy",
+    "DefaultStoragePolicy",
     "ConsistencyRecoveryManager",
     "NotifierLease",
     "RecoveryStats",

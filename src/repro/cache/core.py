@@ -47,6 +47,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.placeless.reference import DocumentReference
     from repro.sim.context import SimContext
     from repro.sim.topology import Topology
+    from repro.storage.tier import L2Tier
 
 __all__ = [
     "CacheCore",
@@ -136,6 +137,11 @@ class CacheCore:
         #: configured; ``None`` (the default) keeps the single-flight
         #: stage a strict no-op.
         self.concurrency: "ConcurrencyPolicy | None" = None
+        #: The durable L2 tier, installed by the manager when a storage
+        #: policy is configured; ``None`` (the default) keeps the
+        #: pipeline's storage stage a strict no-op, evictions purely
+        #: destructive and restarts cold.
+        self.l2: "L2Tier | None" = None
 
     # -- instrumentation -----------------------------------------------------
 
@@ -259,6 +265,10 @@ class CacheCore:
                 )
             victim_key = self.policy.select_victim(candidates)
             victim = self.entries[victim_key]
+            if self.l2 is not None and victim.signature in self.store:
+                # Demote-on-evict: the victim's bytes + metadata spill
+                # to the durable tier before the entry is destroyed.
+                self.l2.demote(victim, self.store.get(victim.signature))
             self.drop(victim, InvalidationReason.EVICTED, origin="internal")
             self.emit("eviction", "evicted", key=victim_key)
 
@@ -282,6 +292,11 @@ class CacheCore:
             "invalidation", reason.value, key=entry.key,
             reason=reason, origin=origin,
         )
+        if self.l2 is not None and reason is not InvalidationReason.EVICTED:
+            # An invalidation (notifier, verifier, explicit, resync)
+            # kills the demoted copy too — eviction is the one reason
+            # that *feeds* the L2 tier rather than purging it.
+            self.l2.drop(entry.key)
         self.remove_entry(entry)
 
     def invalidate_local(
@@ -355,23 +370,24 @@ class CacheCore:
             return
         if meta.source_signature is None:
             return
-        evicted = self.memo.record(
-            MemoRecord(
-                source_signature=meta.source_signature,
-                fingerprint=fingerprint,
-                output_signature=entry.signature,
-                document_id=entry.document_id,
-                size=entry.size,
-                cacheability=entry.cacheability,
-                verifiers=tuple(entry.verifiers),
-                verifier_fingerprints=tuple(
-                    verifier.fingerprint() for verifier in entry.verifiers
-                ),
-                replacement_cost_ms=entry.replacement_cost_ms,
-                chain_signature=entry.chain_signature,
-                pin=entry.pinned,
-            )
+        record = MemoRecord(
+            source_signature=meta.source_signature,
+            fingerprint=fingerprint,
+            output_signature=entry.signature,
+            document_id=entry.document_id,
+            size=entry.size,
+            cacheability=entry.cacheability,
+            verifiers=tuple(entry.verifiers),
+            verifier_fingerprints=tuple(
+                verifier.fingerprint() for verifier in entry.verifiers
+            ),
+            replacement_cost_ms=entry.replacement_cost_ms,
+            chain_signature=entry.chain_signature,
+            pin=entry.pinned,
         )
+        evicted = self.memo.record(record)
+        if self.l2 is not None:
+            self.l2.spill_memo_record(record)
         self.emit("memo", "recorded", key=entry.key)
         if evicted:
             self.emit("memo", "evicted", records=evicted)
@@ -390,16 +406,17 @@ class CacheCore:
             return
         if meta.source_signature is None:
             return
-        evicted = self.memo.record(
-            MemoRecord(
-                source_signature=meta.source_signature,
-                fingerprint=fingerprint,
-                output_signature=None,
-                document_id=key.document_id,
-                cacheability=meta.cacheability,
-                chain_signature=meta.chain_signature,
-            )
+        record = MemoRecord(
+            source_signature=meta.source_signature,
+            fingerprint=fingerprint,
+            output_signature=None,
+            document_id=key.document_id,
+            cacheability=meta.cacheability,
+            chain_signature=meta.chain_signature,
         )
+        evicted = self.memo.record(record)
+        if self.l2 is not None:
+            self.l2.spill_memo_record(record)
         self.emit("memo", "negative-recorded", key=key)
         if evicted:
             self.emit("memo", "evicted", records=evicted)

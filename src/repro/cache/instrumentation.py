@@ -51,6 +51,7 @@ STAGE_ORDER = (
     "lookup",
     "verifier-gate",
     "adoption",
+    "storage",
     "memo",
     "coalesce",
     "fetch",

@@ -50,6 +50,7 @@ from repro.cache.policies import (
     MemoPolicy,
     RecoveryPolicy,
     ReplacementPolicy,
+    StoragePolicy,
     VoteAdmissionPolicy,
 )
 from repro.cache.recovery import ConsistencyRecoveryManager, RecoveryStats
@@ -62,6 +63,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.retry import RetryPolicy
     from repro.placeless.kernel import PlacelessKernel
     from repro.placeless.reference import DocumentReference
+    from repro.storage.tier import L2Tier, StorageStats
 
 __all__ = ["WriteMode", "CacheReadOutcome", "DocumentCache"]
 
@@ -169,6 +171,19 @@ class DocumentCache:
         leader-failure promotion and breaker/budget bail-outs.
         ``None`` (the default) keeps every read sequential and the
         cache byte-identical to its pre-concurrency behaviour.
+    storage_policy:
+        Opt-in durable L2 tier
+        (:class:`~repro.cache.policies.StoragePolicy`, e.g.
+        :class:`~repro.cache.policies.DefaultStoragePolicy`): evictions
+        demote their bytes and metadata to checksummed on-disk
+        segments, misses promote them back under full validity gating
+        (chain signature, source probe, CRC, verifiers), the write-back
+        journal and transform memo spill to disk, and
+        :meth:`restart` recovers all of it after a :meth:`crash` with
+        every recovered entry verifier-gated on its first serve.  Disk
+        faults trip a storage breaker; while it is open the cache runs
+        L1-only.  ``None`` (the default) builds no tier and keeps the
+        cache byte-identical to its storage-free behaviour.
     core:
         Injected :class:`~repro.cache.core.CacheCore` — the cluster
         layer's seam.  When supplied, the state-building arguments
@@ -215,6 +230,7 @@ class DocumentCache:
         containment_policy: ContainmentPolicy | None = None,
         memo_policy: MemoPolicy | None = None,
         concurrency_policy: ConcurrencyPolicy | None = None,
+        storage_policy: StoragePolicy | None = None,
         core: CacheCore | None = None,
         memo: TransformMemo | None = None,
         flights: "FlightTable | None" = None,
@@ -251,6 +267,10 @@ class DocumentCache:
         self._wire_memo(memo_policy, memo)
         self._wire_concurrency(concurrency_policy, flights)
         self._wire_recovery(recovery_policy)
+        # Storage wires last: the tier's construction-time recovery
+        # scan reloads into the memo table and dirty buffer, which the
+        # memo/recovery wiring must have set up first.
+        self._wire_storage(storage_policy)
         self._schedule_fault_crashes(ctx)
 
     # -- construction steps ---------------------------------------------------
@@ -376,6 +396,13 @@ class DocumentCache:
             self.bus.register(self.cache_id, self._recovery.receive)
         else:
             self.bus.register(self.cache_id, self.apply_invalidation)
+
+    def _wire_storage(self, storage_policy: StoragePolicy | None) -> None:
+        if storage_policy is None:
+            return
+        from repro.storage.tier import L2Tier
+
+        self._core.l2 = L2Tier(self._core, storage_policy)
 
     def _schedule_fault_crashes(self, ctx) -> None:
         # Scheduled crash instants apply to every cache on the faulted
@@ -678,6 +705,30 @@ class DocumentCache:
             else None
         )
 
+    # -- durable storage -------------------------------------------------------
+
+    @property
+    def storage(self) -> "L2Tier | None":
+        """The durable L2 tier, when a storage policy is set."""
+        return self._core.l2
+
+    @property
+    def storage_stats(self) -> "StorageStats | None":
+        """Durable-tier counters (``None`` without a storage policy)."""
+        return self._core.l2.stats if self._core.l2 is not None else None
+
+    def compact_storage(self) -> int:
+        """Reclaim dead bytes in the durable tier; returns bytes freed.
+
+        Requires a storage policy (there is nothing to compact without
+        the tier).
+        """
+        if self._core.l2 is None:
+            raise CacheError(
+                "compact_storage requires a storage_policy on this cache"
+            )
+        return self._core.l2.compact()
+
     # -- consistency recovery --------------------------------------------------
 
     @property
@@ -722,6 +773,11 @@ class DocumentCache:
         # The memo is volatile state too: a record that survived the
         # crash could map onto content-store bytes that did not.
         core.memo_purge("crash")
+        if core.l2 is not None:
+            # The durable tier loses exactly its un-fsynced bytes and
+            # its in-memory catalog; what the disk kept, :meth:`restart`
+            # recovers.
+            core.l2.crash()
         if self._recovery is not None:
             self._recovery.on_crash()
 
@@ -731,11 +787,17 @@ class DocumentCache:
         With a journalling recovery policy the unflushed write-backs are
         replayed into the dirty buffer (idempotently), the notifier
         lease is re-granted and the channel resynced; without one the
-        restart comes back empty-handed.
+        restart comes back empty-handed.  With a storage policy the
+        durable tier then recovers on top: the demotion catalog is
+        rebuilt (every recovered entry verify-on-first-serve), disk-
+        journalled writes the in-memory journal did not cover are
+        replayed, and spilled memo records reload — the warm restart.
         """
         replayed = 0
         if self._recovery is not None:
             replayed = self._recovery.on_restart()
+        if self._core.l2 is not None:
+            self._core.l2.recover()
         self._core.emit("crash", "restarted", replayed=replayed)
         return replayed
 

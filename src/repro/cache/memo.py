@@ -239,7 +239,14 @@ class TransformMemo:
         A successful materialization leaves exactly one store reference,
         which the serving entry takes over (the pipeline must not
         ``adopt`` again on this path).
+
+        A cache with a durable L2 tier gets one local recovery source
+        before giving up: demoted (or crash-surviving) bytes for the
+        recorded output signature are read back off disk, CRC-gated,
+        with the same single-reference contract.
         """
+        if record.output_signature is not None and core.l2 is not None:
+            return core.l2.materialize_bytes(record.output_signature)
         return None
 
     def records(self) -> list[MemoRecord]:

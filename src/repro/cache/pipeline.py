@@ -3,7 +3,7 @@
 A read is a fixed sequence of small stages, each a class with one
 ``run(ctx)`` method over a shared typed :class:`ReadContext`:
 
-    dirty-flush → lookup → verifier-gate → adoption → memo →
+    dirty-flush → lookup → verifier-gate → adoption → l2 → memo →
     single-flight → fetch → degradation → admission
 
 A stage returns ``None`` to pass the context on, a terminal result
@@ -70,6 +70,7 @@ __all__ = [
     "LookupStage",
     "VerifierGateStage",
     "AdoptionStage",
+    "L2Stage",
     "MemoStage",
     "SingleFlightStage",
     "FetchStage",
@@ -98,8 +99,10 @@ class CacheReadOutcome:
     #: "hit", "revalidated", "miss", "miss-verifier", "miss-invalidated",
     #: "uncacheable", "miss-oversize", "miss-adopted", "miss-memoized"
     #: (served by the transform memo: signature adoption, no chain
-    #: execution), or a degraded mode: "stale-on-error" (bounded stale
-    #: bytes served because the refetch failed) / "miss-degraded"
+    #: execution), "miss-promoted" (served by promoting a demoted copy
+    #: back from the durable L2 tier — chain-, source-, CRC- and
+    #: verifier-gated), or a degraded mode: "stale-on-error" (bounded
+    #: stale bytes served because the refetch failed) / "miss-degraded"
     #: (fetched past a failed backing level).
     disposition: str
 
@@ -456,6 +459,33 @@ class AdoptionStage:
             if result.verdict is not Verdict.VALID:
                 return False
         return True
+
+
+class L2Stage:
+    """Durable-tier promotion: answer a miss from the on-disk L2 tier.
+
+    Sits between adoption and the memo: an adoption needs another
+    user's *live* entry, while the L2 tier remembers entries this cache
+    itself evicted — including across a crash/restart, which is the
+    whole point.  The stage delegates entirely to
+    :meth:`~repro.storage.tier.L2Tier.promote`, which re-gates the
+    demoted copy on the reference's current chain signature, a charged
+    source-signature probe, the record's CRC/digest and (for recovered
+    records, unconditionally) its verifiers before serving it as a
+    ``miss-promoted`` read.
+
+    A strict no-op when no storage policy is configured, so the default
+    pipeline stays byte-identical to the pre-storage one; likewise a
+    no-op while the storage breaker is open — the L1-only fallback.
+    """
+
+    def __init__(self, core: CacheCore) -> None:
+        self.core = core
+
+    def run(self, ctx: ReadContext):
+        if self.core.l2 is None:
+            return None
+        return self.core.l2.promote(ctx)
 
 
 class MemoStage:
@@ -911,6 +941,7 @@ class ReadPipeline:
             LookupStage(core),
             VerifierGateStage(core),
             AdoptionStage(core),
+            L2Stage(core),
             MemoStage(core),
             SingleFlightStage(core),
             FetchStage(core),
@@ -923,7 +954,7 @@ class ReadPipeline:
         #: switch to another read.
         self._seams = {
             id(self.stages[2]): VERIFIER_SEAM,
-            id(self.stages[6]): FETCH_SEAM,
+            id(self.stages[7]): FETCH_SEAM,
         }
 
     def read(self, reference: "DocumentReference") -> CacheReadOutcome:

@@ -52,6 +52,8 @@ __all__ = [
     "DefaultConcurrencyPolicy",
     "RecoveryPolicy",
     "DefaultRecoveryPolicy",
+    "StoragePolicy",
+    "DefaultStoragePolicy",
     "ReplacementPolicy",
     "GreedyDualSizePolicy",
 ]
@@ -374,6 +376,112 @@ class DefaultRecoveryPolicy:
     def resync_due(self, *, suspect: bool, lapsed: bool) -> bool:
         """Resync whenever the channel is suspect or the lease lapsed."""
         return suspect or lapsed
+
+
+@runtime_checkable
+class StoragePolicy(Protocol):
+    """Configuration seam for the durable L2 tier.
+
+    A cache constructed with a storage policy gets an
+    :class:`~repro.storage.tier.L2Tier`: evictions demote their bytes
+    and metadata to checksummed on-disk segments, misses promote them
+    back (chain-, source-, CRC- and verifier-gated), the write-back
+    journal and transform memo spill to disk, and
+    ``DocumentCache.restart()`` recovers all of it after a crash.
+    ``None`` (the default) builds no tier and leaves the cache
+    byte-identical to its storage-free behaviour.
+    """
+
+    #: Directory holding the tier's segments, or ``None`` for a private
+    #: temporary directory (fresh per cache — durable across crashes
+    #: within a run, not across processes).
+    directory: "str | None"
+    #: Individually disable the demote / promote / spill flows.
+    demote_on_evict: bool
+    promote_on_hit: bool
+    spill_journal: bool
+    spill_memo: bool
+    #: Re-run verifiers on *every* promotion; recovered records are
+    #: verified on first serve regardless of this knob.
+    verify_on_promote: bool
+    #: Virtual costs of the disk operations (per record) and of the
+    #: promote-time source-signature probe.
+    write_cost_ms: float
+    read_cost_ms: float
+    sync_cost_ms: float
+    probe_cost_ms: float
+    #: Storage-breaker tuning: consecutive disk failures before the
+    #: tier trips open (falling back to L1-only), and the probation
+    #: delay before a half-open retry.
+    breaker_failure_threshold: int
+    breaker_probation_ms: "float | None"
+
+
+class DefaultStoragePolicy:
+    """Durable tier with everything on, off unless supplied.
+
+    Parameters
+    ----------
+    directory:
+        Segment directory (one subdirectory per cache id); ``None``
+        (default) uses a private temporary directory.
+    demote_on_evict, promote_on_hit, spill_journal, spill_memo:
+        Individually disable the four flows (all on by default) for
+        ablations.
+    verify_on_promote:
+        Re-run verifiers on every promotion (default on).  Recovered
+        records are always verified on their first serve even when
+        this is off.
+    write_cost_ms, read_cost_ms, sync_cost_ms, probe_cost_ms:
+        Virtual costs charged per disk write, read, fsync and
+        promote-time source probe.
+    breaker_failure_threshold, breaker_probation_ms:
+        Storage-breaker tuning (see
+        :class:`~repro.cache.containment.BreakerConfig`).
+    """
+
+    def __init__(
+        self,
+        directory: "str | None" = None,
+        demote_on_evict: bool = True,
+        promote_on_hit: bool = True,
+        spill_journal: bool = True,
+        spill_memo: bool = True,
+        verify_on_promote: bool = True,
+        write_cost_ms: float = 0.4,
+        read_cost_ms: float = 0.25,
+        sync_cost_ms: float = 0.5,
+        probe_cost_ms: float = 0.2,
+        breaker_failure_threshold: int = 3,
+        breaker_probation_ms: "float | None" = 2_000.0,
+    ) -> None:
+        for name, value in (
+            ("write_cost_ms", write_cost_ms),
+            ("read_cost_ms", read_cost_ms),
+            ("sync_cost_ms", sync_cost_ms),
+            ("probe_cost_ms", probe_cost_ms),
+        ):
+            if value < 0:
+                raise CacheError(
+                    f"{name} must be non-negative: {value}"
+                )
+        if breaker_failure_threshold < 1:
+            raise CacheError(
+                "breaker_failure_threshold must be >= 1: "
+                f"{breaker_failure_threshold}"
+            )
+        self.directory = directory
+        self.demote_on_evict = demote_on_evict
+        self.promote_on_hit = promote_on_hit
+        self.spill_journal = spill_journal
+        self.spill_memo = spill_memo
+        self.verify_on_promote = verify_on_promote
+        self.write_cost_ms = write_cost_ms
+        self.read_cost_ms = read_cost_ms
+        self.sync_cost_ms = sync_cost_ms
+        self.probe_cost_ms = probe_cost_ms
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_probation_ms = breaker_probation_ms
 
 
 class DefaultDegradationPolicy:

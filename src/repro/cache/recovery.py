@@ -154,7 +154,23 @@ class WriteBackJournal:
         content: bytes,
         now_ms: float,
     ) -> JournalRecord:
-        """Journal one buffered write before it is acknowledged."""
+        """Journal one buffered write before it is acknowledged.
+
+        A duplicated tail is coalesced: re-appending the tail record's
+        exact bytes for the same (still unflushed) key returns the tail
+        instead of journalling twice.  The disk-spill path produces
+        exactly this shape when an fsync is reported lost and the spill
+        retries — the retry must not make replay restore the write
+        twice, nor inflate the unflushed backlog.
+        """
+        if self.records:
+            tail = self.records[-1]
+            if (
+                tail.key == key
+                and not tail.flushed
+                and tail.content == bytes(content)
+            ):
+                return tail
         record = JournalRecord(
             key=key,
             reference=reference,
@@ -606,6 +622,8 @@ class ConsistencyRecoveryManager:
             key, reference, content, self.core.ctx.clock.now_ms
         )
         self.core.emit("journal", "appended", key=key, bytes=len(content))
+        if self.core.l2 is not None:
+            self.core.l2.spill_journal_append(key, reference, content)
 
     def journal_mark_flushed(self, key: "EntryKey") -> None:
         """Flush hook: the key's buffered bytes reached the server."""
@@ -614,6 +632,8 @@ class ConsistencyRecoveryManager:
         marked = self.journal.mark_flushed(key)
         if marked:
             self.core.emit("journal", "flush-marked", key=key, records=marked)
+        if self.core.l2 is not None:
+            self.core.l2.spill_journal_flushed(key)
 
     def replay_journal(self) -> int:
         """Restore unflushed journalled writes into the dirty buffer."""

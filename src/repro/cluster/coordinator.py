@@ -453,3 +453,29 @@ class CacheCluster:
             shard.recovery.stop()
         self.bus.unregister(shard.cache_id)
         return self.rebalance()
+
+    def crash_shard(self, shard_name: str) -> None:
+        """Crash one shard *in place*: volatile state vanishes, but the
+        shard keeps its ring position and bus registration for
+        :meth:`restart_shard` to recover — the rolling-restart shape,
+        as opposed to :meth:`lose_shard`'s permanent departure.
+        """
+        try:
+            shard = self._shards[shard_name]
+        except KeyError:
+            raise CacheError(f"unknown shard: {shard_name!r}") from None
+        shard.crash()
+
+    def restart_shard(self, shard_name: str) -> int:
+        """Restart a :meth:`crash_shard`-crashed shard in place.
+
+        Replays its write-back journal, re-grants its lease and — when
+        the shard has a durable L2 tier — recovers the demotion
+        catalog, so the shard comes back warm instead of empty.
+        Returns the replayed dirty-write count.
+        """
+        try:
+            shard = self._shards[shard_name]
+        except KeyError:
+            raise CacheError(f"unknown shard: {shard_name!r}") from None
+        return shard.restart()

@@ -91,7 +91,14 @@ class SharedTransformMemo(TransformMemo):
         bytes are seeded into the requester's store via ``put_signed``
         — exactly one new reference, which the caller's serving entry
         takes over.
+
+        A requester with a durable L2 tier tries its own disk first
+        (the base-memo materialization): a local CRC-gated read beats
+        shipping the bytes over a shard link.
         """
+        local = super().materialize(record, core)
+        if local is not None:
+            return local
         requester = self._names.get(id(core))
         for name, sibling in self._cores.items():
             if sibling is core:

@@ -27,6 +27,7 @@ __all__ = [
     "UnknownEventError",
     "CacheError",
     "CacheEntryNotFoundError",
+    "StorageError",
     "UncacheableContentError",
     "CacheCapacityError",
     "VerifierError",
@@ -111,6 +112,17 @@ class CacheError(PlacelessError):
 
 class CacheEntryNotFoundError(CacheError, KeyError):
     """A (document, user) pair has no entry in the cache."""
+
+
+class StorageError(CacheError):
+    """The durable L2 tier could not complete a disk operation.
+
+    Raised by the storage layer on checksum mismatches, unknown
+    signatures and injected disk faults.  The L2 tier itself converts
+    these into storage-breaker failures and L1-only fallbacks — the
+    error escapes only through the direct :mod:`repro.storage` APIs,
+    never through a cache read.
+    """
 
 
 class UncacheableContentError(CacheError):

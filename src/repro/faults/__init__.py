@@ -32,6 +32,7 @@ from repro.faults.scenarios import (
     NAMED_CHAOS_SCENARIOS,
     cache_crash_scenario,
     crash_chaos_scenario,
+    diskchaos_chaos_scenario,
     flaky_fetch_scenario,
     lossy_bus_scenario,
     misbehave_chaos_scenario,
@@ -59,5 +60,6 @@ __all__ = [
     "partition_chaos_scenario",
     "crash_chaos_scenario",
     "misbehave_chaos_scenario",
+    "diskchaos_chaos_scenario",
     "NAMED_CHAOS_SCENARIOS",
 ]

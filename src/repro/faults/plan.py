@@ -35,6 +35,10 @@ The plan is consulted at the seams the system already has:
   (``raise`` / ``runaway`` / ``corrupt``) for one wrapper invocation.
 * :meth:`FaultPlan.link_down` — from :meth:`SimContext.charge_hop`;
   scheduled topology-link outages.
+* :meth:`FaultPlan.check_disk_write` / :meth:`FaultPlan.check_disk_sync`
+  / :meth:`FaultPlan.disk_io_delay_ms` — from the durable L2 tier in
+  :mod:`repro.storage`; inject write failures, corrupted records,
+  lost fsyncs and slow I/O at the disk seam.
 """
 
 from __future__ import annotations
@@ -123,6 +127,11 @@ class FaultStats:
     properties_raised: int = 0
     properties_runaway: int = 0
     properties_corrupted: int = 0
+    #: Disk-seam injections against the durable L2 tier.
+    disk_write_failures: int = 0
+    disk_fsyncs_lost: int = 0
+    disk_records_corrupted: int = 0
+    disk_slow_ios: int = 0
 
     @property
     def total(self) -> int:
@@ -135,6 +144,8 @@ class FaultStats:
             + self.link_outages
             + self.properties_raised + self.properties_runaway
             + self.properties_corrupted
+            + self.disk_write_failures + self.disk_fsyncs_lost
+            + self.disk_records_corrupted + self.disk_slow_ios
         )
 
 
@@ -203,6 +214,22 @@ class FaultPlan:
         table and dirty write-back buffer.  A cache with a write-back
         journal replays unflushed writes on restart; one without loses
         them — the contrast the A13 bench measures.
+    disk_write_fail_probability:
+        Per-write chance a durable-tier append fails outright; the L2
+        tier counts it against the storage breaker and skips the write
+        (the entry simply stays L1-only).
+    disk_fsync_lost_probability:
+        Per-sync chance an fsync silently *lies*: the call returns but
+        the durable watermark does not advance, so a crash loses the
+        supposedly synced bytes — the torn-tail/double-append hazard
+        the journal replay must tolerate.
+    disk_corrupt_probability:
+        Per-write chance the record's payload bytes are flipped on disk
+        after the CRC is computed; the corruption is detected (CRC
+        mismatch) at read or recovery time and the record is dropped.
+    disk_slow_io_probability, disk_slow_io_ms:
+        Per-operation chance a disk I/O burns ``disk_slow_io_ms`` extra
+        virtual milliseconds.
     """
 
     def __init__(
@@ -224,6 +251,11 @@ class FaultPlan:
         link_outages: "Sequence[OutageWindow]" = (),
         bus_outages: "Sequence[OutageWindow]" = (),
         cache_crashes: "Sequence[float]" = (),
+        disk_write_fail_probability: float = 0.0,
+        disk_fsync_lost_probability: float = 0.0,
+        disk_corrupt_probability: float = 0.0,
+        disk_slow_io_probability: float = 0.0,
+        disk_slow_io_ms: float = 5.0,
     ) -> None:
         self.clock = clock
         self.seed = seed
@@ -280,11 +312,29 @@ class FaultPlan:
                     f"cache_crashes instants must be non-negative: {instant}"
                 )
         self.cache_crashes = tuple(sorted(cache_crashes))
+        self.disk_write_fail_probability = _validate_probability(
+            "disk_write_fail_probability", disk_write_fail_probability
+        )
+        self.disk_fsync_lost_probability = _validate_probability(
+            "disk_fsync_lost_probability", disk_fsync_lost_probability
+        )
+        self.disk_corrupt_probability = _validate_probability(
+            "disk_corrupt_probability", disk_corrupt_probability
+        )
+        self.disk_slow_io_probability = _validate_probability(
+            "disk_slow_io_probability", disk_slow_io_probability
+        )
+        if disk_slow_io_ms < 0:
+            raise WorkloadError(
+                f"disk_slow_io_ms must be non-negative: {disk_slow_io_ms}"
+            )
+        self.disk_slow_io_ms = disk_slow_io_ms
         # One RNG stream per seam; string seeding is hash-salt-proof.
         self._rng_fetch = random.Random(f"{seed}:fetch")
         self._rng_bus = random.Random(f"{seed}:bus")
         self._rng_verifier = random.Random(f"{seed}:verifier")
         self._rng_property = random.Random(f"{seed}:property")
+        self._rng_disk = random.Random(f"{seed}:disk")
         self.stats = FaultStats()
         self.trace: list[FaultRecord] = []
 
@@ -429,6 +479,55 @@ class FaultPlan:
             self.stats.properties_corrupted += 1
         self._record("property", mode, label)
         return mode
+
+    # -- disk seam -----------------------------------------------------------
+
+    def check_disk_write(self, target: str = "disk") -> str | None:
+        """Decide one durable-tier write: ``None`` / ``"fail"`` / ``"corrupt"``.
+
+        ``"fail"`` means the append never happens (the tier counts a
+        storage-breaker failure and skips); ``"corrupt"`` means the
+        bytes land on disk garbled after the CRC was computed, so the
+        damage surfaces later as a checksum mismatch.  Zero-probability
+        draws consume no RNG, keeping fault-free runs byte-identical.
+        """
+        if (
+            self.disk_write_fail_probability
+            and self._rng_disk.random() < self.disk_write_fail_probability
+        ):
+            self.stats.disk_write_failures += 1
+            self._record("disk", "write-fail", target)
+            return "fail"
+        if (
+            self.disk_corrupt_probability
+            and self._rng_disk.random() < self.disk_corrupt_probability
+        ):
+            self.stats.disk_records_corrupted += 1
+            self._record("disk", "corrupt", target)
+            return "corrupt"
+        return None
+
+    def check_disk_sync(self, target: str = "disk") -> bool:
+        """True when one fsync is silently lost (watermark not advanced)."""
+        if (
+            self.disk_fsync_lost_probability
+            and self._rng_disk.random() < self.disk_fsync_lost_probability
+        ):
+            self.stats.disk_fsyncs_lost += 1
+            self._record("disk", "fsync-lost", target)
+            return True
+        return False
+
+    def disk_io_delay_ms(self, target: str = "disk") -> float:
+        """Extra virtual ms one disk I/O burns (0.0 when healthy)."""
+        if (
+            self.disk_slow_io_probability
+            and self._rng_disk.random() < self.disk_slow_io_probability
+        ):
+            self.stats.disk_slow_ios += 1
+            self._record("disk", "slow-io", target)
+            return self.disk_slow_io_ms
+        return 0.0
 
     # -- topology seam -------------------------------------------------------
 

@@ -31,6 +31,7 @@ __all__ = [
     "partition_chaos_scenario",
     "crash_chaos_scenario",
     "misbehave_chaos_scenario",
+    "diskchaos_chaos_scenario",
     "NAMED_CHAOS_SCENARIOS",
 ]
 
@@ -201,10 +202,42 @@ def misbehave_chaos_scenario(
     )
 
 
+def diskchaos_chaos_scenario(
+    clock: "VirtualClock",
+    seed: int = 0,
+) -> FaultPlan:
+    """``--faults diskchaos``: standard chaos plus a hostile disk.
+
+    Durable-tier writes fail, fsyncs lie, records corrupt on disk and
+    I/O stalls — on top of a mid-run crash/restart, so recovery replays
+    a journal that actually took the damage.  A cache without a
+    ``storage_policy`` never touches the disk seams (zero-probability
+    draws consume no RNG at the other seams, and the disk stream is
+    separate), so this scenario is safe to point at any experiment;
+    storage-enabled caches must absorb it via CRC drops, the storage
+    breaker and L1-only fallback rather than erroring reads.
+    """
+    return FaultPlan(
+        clock,
+        seed=seed,
+        notifier_loss_probability=0.05,
+        notifier_delay_probability=0.10,
+        notifier_delay_ms=100.0,
+        verifier_failure_probability=0.02,
+        cache_crashes=(6_000.0,),
+        disk_write_fail_probability=0.05,
+        disk_fsync_lost_probability=0.10,
+        disk_corrupt_probability=0.06,
+        disk_slow_io_probability=0.10,
+        disk_slow_io_ms=5.0,
+    )
+
+
 #: Scenario names accepted by the CLI's ``--faults [NAME]`` flag.
 NAMED_CHAOS_SCENARIOS = {
     "standard": standard_chaos_scenario,
     "partition": partition_chaos_scenario,
     "crash": crash_chaos_scenario,
     "misbehave": misbehave_chaos_scenario,
+    "diskchaos": diskchaos_chaos_scenario,
 }

@@ -19,6 +19,7 @@ from repro.faults.scenarios import (
     NAMED_CHAOS_SCENARIOS,
     cache_crash_scenario,
     crash_chaos_scenario,
+    diskchaos_chaos_scenario,
     misbehave_chaos_scenario,
     partition_chaos_scenario,
     partition_scenario,
@@ -94,12 +95,13 @@ class TestScenarioFactories:
 
     def test_named_scenarios_cover_the_cli_choices(self):
         assert set(NAMED_CHAOS_SCENARIOS) == {
-            "standard", "partition", "crash", "misbehave",
+            "standard", "partition", "crash", "misbehave", "diskchaos",
         }
         assert NAMED_CHAOS_SCENARIOS["standard"] is standard_chaos_scenario
         assert NAMED_CHAOS_SCENARIOS["partition"] is partition_chaos_scenario
         assert NAMED_CHAOS_SCENARIOS["crash"] is crash_chaos_scenario
         assert NAMED_CHAOS_SCENARIOS["misbehave"] is misbehave_chaos_scenario
+        assert NAMED_CHAOS_SCENARIOS["diskchaos"] is diskchaos_chaos_scenario
 
     def test_chaos_variants_keep_the_standard_probabilities(self):
         clock = VirtualClock()
@@ -108,6 +110,7 @@ class TestScenarioFactories:
             partition_chaos_scenario,
             crash_chaos_scenario,
             misbehave_chaos_scenario,
+            diskchaos_chaos_scenario,
         ):
             variant = factory(VirtualClock())
             assert (

@@ -1,0 +1,1 @@
+"""Durable-storage tier tests: segments, disk store, L2, crash recovery."""

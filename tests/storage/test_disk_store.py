@@ -1,0 +1,118 @@
+"""Disk content store: refcounts, verification, compaction, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.content.signature import sign
+from repro.errors import StorageError
+from repro.storage import DiskContentStore
+
+
+def _put(store: DiskContentStore, content: bytes):
+    signature = sign(content)
+    store.put_signed(content, signature)
+    return signature
+
+
+class TestRefcounts:
+    def test_put_dedupes_and_counts_references(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        signature = _put(store, b"shared bytes")
+        before = store.log.size
+        _put(store, b"shared bytes")
+        assert store.log.size == before  # deduped: no second frame
+        assert store.refcount(signature) == 2
+
+    def test_adopt_adds_a_reference(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        signature = _put(store, b"adopted")
+        store.adopt(signature)
+        assert store.refcount(signature) == 2
+
+    def test_release_to_zero_forgets_the_blob(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        signature = _put(store, b"short-lived")
+        store.release(signature)
+        assert signature not in store
+        assert store.refcount(signature) == 0
+
+    def test_mismatched_signature_rejected(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        with pytest.raises(AssertionError):
+            store.put_signed(b"content", sign(b"other content"))
+
+
+class TestReads:
+    def test_get_round_trips(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        signature = _put(store, b"bytes on the platter")
+        assert store.get(signature) == b"bytes on the platter"
+        assert store.size_of(signature) == len(b"bytes on the platter")
+
+    def test_get_missing_raises(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        with pytest.raises(StorageError):
+            store.get(sign(b"never stored"))
+
+    def test_corrupt_write_detected_at_read(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        content = b"garbled on the way down"
+        signature = sign(content)
+        store.put_signed(content, signature, corrupt=True)
+        with pytest.raises(StorageError):
+            store.get(signature)
+
+
+class TestRecovery:
+    def test_reopen_rebuilds_index_with_zero_refcounts(self, tmp_path):
+        path = tmp_path / "c.seg"
+        store = DiskContentStore(path)
+        signature = _put(store, b"survives reopen")
+        store.sync()
+        fresh = DiskContentStore(path)
+        assert signature in fresh
+        assert fresh.refcount(signature) == 0  # owners re-adopt
+        assert fresh.get(signature) == b"survives reopen"
+
+    def test_crash_loses_unsynced_content(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        durable = _put(store, b"synced")
+        store.sync()
+        volatile = _put(store, b"never synced")
+        store.crash()
+        assert durable in store
+        assert volatile not in store
+
+    def test_crash_rebuild_drops_corrupt_slots(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        good = _put(store, b"good")
+        bad_content = b"bad bytes, bad disk"
+        store.put_signed(bad_content, sign(bad_content), corrupt=True)
+        store.sync()
+        dropped_before = store.corrupt_dropped
+        store.crash()
+        assert good in store
+        assert sign(bad_content) not in store
+        assert store.corrupt_dropped == dropped_before + 1
+
+
+class TestCompaction:
+    def test_compact_frees_dead_bytes_and_keeps_live_reads(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        dead = _put(store, b"x" * 256)
+        live = _put(store, b"y" * 64)
+        store.release(dead)
+        freed = store.compact()
+        assert freed > 0
+        assert store.get(live) == b"y" * 64
+        assert dead not in store
+
+    def test_compact_preserves_refcounts(self, tmp_path):
+        store = DiskContentStore(tmp_path / "c.seg")
+        live = _put(store, b"kept across the rewrite")
+        store.adopt(live)
+        store.compact()
+        assert store.refcount(live) == 2
+        store.release(live)
+        assert live in store

@@ -1,0 +1,273 @@
+"""The durable L2 tier through the cache: demote, promote, crash, degrade."""
+
+from __future__ import annotations
+
+from repro.cache.manager import DocumentCache
+from repro.cache.memo import ChainFingerprint, MemoRecord
+from repro.cache.pipeline import WriteMode
+from repro.cache.policies import (
+    DefaultMemoPolicy,
+    DefaultRecoveryPolicy,
+    DefaultStoragePolicy,
+)
+from repro.content.signature import sign
+from repro.faults.plan import FaultPlan
+from repro.placeless.kernel import PlacelessKernel
+from repro.providers.memory import MemoryProvider
+from repro.storage import K_JOURNAL
+
+
+def _deployment(n_docs=6, slots=2, *, faults=None, storage=None, **cache_kwargs):
+    """*n_docs* same-sized documents over an L1 holding *slots* of them."""
+    kernel = PlacelessKernel()
+    if faults is not None:
+        kernel.ctx.faults = FaultPlan(kernel.ctx.clock, **faults)
+    user = kernel.create_user("alice")
+    providers, references = [], []
+    for i in range(n_docs):
+        content = f"doc-{i:02d}:".encode() + bytes(range(200))
+        provider = MemoryProvider(kernel.ctx, content)
+        providers.append(provider)
+        references.append(kernel.import_document(user, provider, f"d{i}"))
+    size = len(providers[0].peek())
+    cache = DocumentCache(
+        kernel,
+        capacity_bytes=slots * size,
+        storage_policy=(
+            storage if storage is not None else DefaultStoragePolicy()
+        ),
+        **cache_kwargs,
+    )
+    return kernel, cache, providers, references
+
+
+class TestWiring:
+    def test_off_by_default(self):
+        cache = DocumentCache(PlacelessKernel(), capacity_bytes=1024)
+        assert cache.storage is None
+        assert cache.storage_stats is None
+
+    def test_tier_present_with_policy(self):
+        _, cache, _, _ = _deployment()
+        assert cache.storage is not None
+        assert len(cache.storage) == 0
+
+
+class TestDemotePromote:
+    def test_eviction_demotes_to_disk(self):
+        _, cache, providers, references = _deployment()
+        for reference in references:
+            cache.read(reference)
+        stats = cache.storage_stats
+        assert stats.demotions == 4  # 6 docs through 2 slots
+        assert len(cache.storage) == 4
+
+    def test_promote_serves_without_refetch(self):
+        _, cache, providers, references = _deployment()
+        for reference in references:
+            cache.read(reference)
+        outcome = cache.read(references[0])
+        assert outcome.disposition == "miss-promoted"
+        assert outcome.content == providers[0].peek()
+        assert cache.storage_stats.promotions == 1
+
+    def test_tiering_is_exclusive(self):
+        _, cache, _, references = _deployment()
+        for reference in references:
+            cache.read(reference)
+        key = cache.storage.catalog_keys()[0]
+        assert key in cache.storage
+        # Promoting the entry moves it back up: the L2 record is dropped.
+        for reference in references:
+            outcome = cache.read(reference)
+            if outcome.disposition == "miss-promoted" and (
+                key not in cache.storage
+            ):
+                break
+        assert key not in cache.storage
+
+    def test_verify_on_promote_runs_verifiers(self):
+        _, cache, _, references = _deployment()
+        for reference in references:
+            cache.read(reference)
+        cache.read(references[0])
+        assert cache.storage_stats.promote_verifier_runs >= 1
+
+    def test_promote_refuses_changed_source(self):
+        _, cache, providers, references = _deployment()
+        for reference in references:
+            cache.read(reference)
+        # Out-of-band mutation: no notification reaches the cache, the
+        # demoted copy on disk is silently stale.
+        providers[0].store(b"rewritten behind the cache's back")
+        outcome = cache.read(references[0])
+        assert outcome.content == b"rewritten behind the cache's back"
+        assert outcome.disposition != "miss-promoted"
+        assert cache.storage_stats.promote_source_mismatches == 1
+
+
+class TestCrashRestart:
+    def test_restart_recovers_demoted_entries(self):
+        _, cache, providers, references = _deployment()
+        for reference in references:
+            cache.read(reference)
+        demoted = len(cache.storage)
+        cache.crash()
+        assert len(cache.storage) == 0  # volatile catalog gone
+        cache.restart()
+        stats = cache.storage_stats
+        assert stats.recovered_entries == demoted
+        assert stats.restarts == 1
+
+    def test_recovered_entry_is_verifier_gated_on_first_serve(self):
+        _, cache, providers, references = _deployment()
+        for reference in references:
+            cache.read(reference)
+        cache.crash()
+        cache.restart()
+        runs_before = cache.storage_stats.promote_verifier_runs
+        outcome = cache.read(references[0])
+        assert outcome.disposition == "miss-promoted"
+        assert outcome.content == providers[0].peek()
+        assert cache.storage_stats.recovered_promotions == 1
+        assert cache.storage_stats.promote_verifier_runs == runs_before + 1
+
+    def test_recovered_entry_refuses_changed_source(self):
+        _, cache, providers, references = _deployment()
+        for reference in references:
+            cache.read(reference)
+        cache.crash()
+        providers[0].store(b"changed while the cache was down")
+        cache.restart()
+        outcome = cache.read(references[0])
+        assert outcome.content == b"changed while the cache was down"
+        assert outcome.disposition != "miss-promoted"
+
+    def test_unsynced_demotions_do_not_survive_a_lying_fsync(self):
+        _, cache, _, references = _deployment(
+            faults={"seed": 7, "disk_fsync_lost_probability": 1.0},
+        )
+        for reference in references:
+            cache.read(reference)
+        assert cache.storage_stats.demotions == 4
+        cache.crash()
+        cache.restart()
+        # Every fsync lied, so nothing on disk was durable: recovery
+        # comes back empty rather than trusting ghost records.
+        assert cache.storage_stats.recovered_entries == 0
+
+
+class TestDegradation:
+    def test_breaker_trips_to_l1_only_and_reads_stay_correct(self):
+        _, cache, providers, references = _deployment(
+            faults={"seed": 7, "disk_write_fail_probability": 1.0},
+        )
+        for index, reference in enumerate(references):
+            assert cache.read(reference).content == providers[index].peek()
+        stats = cache.storage_stats
+        assert stats.write_failures >= 3
+        assert stats.breaker_trips == 1
+        assert cache.storage.breaker_open
+        assert len(cache.storage) == 0  # nothing ever landed on disk
+        # Further evictions skip the disk entirely (L1-only fallback).
+        skips_before = stats.fallback_skips
+        for index, reference in enumerate(references):
+            assert cache.read(reference).content == providers[index].peek()
+        assert stats.fallback_skips > skips_before
+
+
+class TestJournalSpill:
+    def _write_back_cache(self):
+        return _deployment(
+            write_mode=WriteMode.WRITE_BACK,
+            use_verifiers=False,
+            recovery_policy=DefaultRecoveryPolicy(),
+            slots=6,
+        )
+
+    def test_spilled_journal_replays_after_total_process_loss(self):
+        _, cache, providers, references = self._write_back_cache()
+        cache.write(references[0], b"acknowledged-write")
+        assert cache.storage_stats.journal_spills == 1
+        cache.crash()
+        # Model full process death: the in-memory journal is gone too;
+        # only what the tier spilled to disk survives.
+        cache.recovery.journal.records.clear()
+        cache.restart()
+        assert cache.storage_stats.journal_replayed == 1
+        cache.flush_all()
+        assert providers[0].peek() == b"acknowledged-write"
+
+    def test_duplicated_tail_replays_once(self):
+        _, cache, providers, references = self._write_back_cache()
+        cache.write(references[0], b"acknowledged-write")
+        log = cache.storage.journal_log
+        records, _ = log.scan_records()
+        kind, payload, _ = records[-1]
+        assert kind == K_JOURNAL
+        # The exact shape an fsync-lost spill retry leaves behind: the
+        # same journal frame appended twice, both durable.
+        log.append(K_JOURNAL, payload)
+        log.sync()
+        cache.crash()
+        cache.recovery.journal.records.clear()
+        cache.restart()
+        assert cache.storage_stats.journal_replayed == 1
+        flushes_before = cache.stats.flushes
+        cache.flush_all()
+        assert cache.stats.flushes == flushes_before + 1
+        assert providers[0].peek() == b"acknowledged-write"
+
+    def test_flushed_writes_are_not_replayed(self):
+        _, cache, providers, references = self._write_back_cache()
+        cache.write(references[0], b"flushed-before-crash")
+        cache.flush(references[0])
+        cache.crash()
+        cache.recovery.journal.records.clear()
+        cache.restart()
+        assert cache.storage_stats.journal_replayed == 0
+
+    def test_in_memory_journal_coalesces_duplicated_tail(self):
+        _, cache, _, references = self._write_back_cache()
+        journal = cache.recovery.journal
+        cache.write(references[0], b"same bytes")
+        record = journal.records[-1]
+        # The spill-retry shape at the in-memory layer: re-appending the
+        # tail's exact bytes returns the tail instead of a new record.
+        assert journal.append(
+            record.key, record.reference, b"same bytes", 0.0
+        ) is record
+        assert len(journal.records) == 1
+
+
+class TestMemoSpill:
+    def test_verifier_free_memo_record_spills_and_reloads(self):
+        _, cache, _, _ = _deployment(
+            memo_policy=DefaultMemoPolicy(), slots=6,
+        )
+        tier = cache.storage
+        record = MemoRecord(
+            source_signature=sign(b"source bytes"),
+            fingerprint=ChainFingerprint("chain-fp"),
+            output_signature=None,  # negative record: verifier-free
+        )
+        tier.spill_memo_record(record)
+        assert cache.storage_stats.memo_spills == 1
+        cache.crash()
+        cache.restart()
+        assert cache.storage_stats.memo_reloaded == 1
+        reloaded = cache._core.memo.lookup(
+            record.source_signature, record.fingerprint
+        )
+        assert reloaded is not None and reloaded.is_negative
+
+    def test_records_with_verifiers_stay_in_memory_only(self):
+        _, cache, _, references = _deployment(
+            memo_policy=DefaultMemoPolicy(), slots=6,
+        )
+        for reference in references:
+            cache.read(reference)
+        # Memory-provider documents always carry a generation verifier,
+        # so their memo records must never spill (a reloaded record
+        # without its live verifiers would dodge class-(d) checks).
+        assert cache.storage_stats.memo_spills == 0
