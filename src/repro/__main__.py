@@ -3,12 +3,18 @@
 Commands
 --------
 ``bench [EXPERIMENT] [--faults [SCENARIO]]``
-    Run one experiment (``table1``, ``a1`` … ``a18``) or all of them;
+    Run one experiment (``table1``, ``a1`` … ``a19``) or all of them;
     ``--faults`` runs it under a named chaos fault scenario
     (``standard`` when the name is omitted, ``partition`` / ``crash``
     to add a bus blackout or a mid-run cache crash, ``misbehave``
-    to add raising/runaway/corrupting active-property code, or
-    ``diskchaos`` to add a hostile disk under the durable L2 tier).
+    to add raising/runaway/corrupting active-property code,
+    ``diskchaos`` to add a hostile disk under the durable L2 tier, or
+    ``grayshard`` to slow one cluster shard's fetches without erroring).
+``doctor``
+    Run a seeded smoke workload through a fully-wired two-shard
+    cluster and print a health report: smoke-read outcomes, the
+    per-shard health table, overload counters, circuit-breaker states,
+    memo occupancy and durable-tier stats.  Exit code 0 when healthy.
 ``demo``
     Run the quickstart scenario inline (no file needed).
 ``info``
@@ -49,6 +55,8 @@ _EXPERIMENT_MODULES = {
     "cluster": "repro.bench.cluster",
     "a18": "repro.bench.persistence",
     "persistence": "repro.bench.persistence",
+    "a19": "repro.bench.overload",
+    "overload": "repro.bench.overload",
 }
 
 
@@ -102,6 +110,142 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             from repro.faults import clear_default_fault_scenario
 
             clear_default_fault_scenario()
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Seeded smoke workload + health report over a wired cluster.
+
+    Builds a two-shard cluster with every opt-in plane enabled
+    (containment, memo, durable L2, overload), lands a small paced
+    read workload, then prints the introspection surfaces an operator
+    would reach for first: the shard health table, overload counters,
+    open breakers, memo occupancy and L2 stats.  Exits non-zero when
+    the smoke reads misbehave or a shard is left unhealthy.
+    """
+    import random
+
+    import repro
+    from repro import MemoryProvider, PlacelessKernel
+    from repro.cache.policies import (
+        DefaultContainmentPolicy,
+        DefaultMemoPolicy,
+        DefaultOverloadPolicy,
+        DefaultStoragePolicy,
+    )
+    from repro.cluster import CacheCluster
+    from repro.properties import SpellingCorrectorProperty
+
+    seed = getattr(args, "seed", 7)
+    rng = random.Random(seed)
+    kernel = PlacelessKernel()
+    cluster = CacheCluster(
+        kernel,
+        2,
+        capacity_bytes=1 << 20,
+        memo_policy=DefaultMemoPolicy(),
+        overload_policy=DefaultOverloadPolicy(),
+        shard_kwargs={
+            "containment_policy": DefaultContainmentPolicy(),
+            "storage_policy": DefaultStoragePolicy(),
+        },
+    )
+
+    users = [kernel.create_user(f"user-{i}") for i in range(3)]
+    references = []
+    for n in range(4):
+        body = bytes(rng.randrange(32, 127) for _ in range(96))
+        document = kernel.create_document(
+            users[n % len(users)],
+            MemoryProvider(kernel.ctx, body),
+            f"doc-{n}",
+        )
+        for user in users:
+            reference = kernel.space(user).add_reference(document)
+            if n % 2 == 0:
+                reference.attach(SpellingCorrectorProperty())
+            references.append(reference)
+
+    # Two paced passes: the first fills, the second must hit.  Pacing
+    # (8 virtual ms per read ≈ 125 req/s) keeps the smoke loop under
+    # the default admission rate so nothing sheds on a healthy run.
+    problems: list[str] = []
+    first_pass: dict[int, bytes] = {}
+    for sweep in range(2):
+        for index, reference in enumerate(references):
+            kernel.ctx.clock.charge(8.0)
+            outcome = cluster.read(reference)
+            if sweep == 0:
+                first_pass[index] = outcome.content
+            else:
+                if outcome.disposition not in ("hit", "revalidated"):
+                    problems.append(
+                        f"re-read of {reference.document_id} was "
+                        f"{outcome.disposition!r}, expected a hit"
+                    )
+                if outcome.content != first_pass[index]:
+                    problems.append(
+                        f"re-read of {reference.document_id} returned "
+                        "different bytes"
+                    )
+
+    print(f"repro {repro.__version__} doctor — seed {seed}")
+    print(f"smoke reads: {2 * len(references)} paced reads, "
+          f"{len(problems)} problem(s)")
+    for problem in problems:
+        print(f"  !! {problem}")
+
+    print("\nshard health:")
+    unhealthy = 0
+    for name, row in cluster.health_snapshot().items():
+        if row["state"] != "healthy":
+            unhealthy += 1
+        ewma = row["ewma_ms"]
+        print(f"  {name:<12} {row['state']:<10} "
+              f"reads={row['reads']:<5} fetches={row['fetches']:<4} "
+              f"errors={row['errors']:<3} "
+              f"ewma_ms={'-' if ewma is None else format(ewma, '.3f')}")
+
+    stats = cluster.overload_stats
+    print("\noverload:")
+    print(f"  admitted={stats.admitted} shed={stats.shed} "
+          f"deadline_exceeded={stats.deadline_exceeded} "
+          f"deadline_violations={stats.deadline_violations}")
+    print(f"  hedges launched={stats.hedges_launched} "
+          f"won={stats.hedges_won} lost={stats.hedges_lost} "
+          f"failovers={stats.failovers}")
+
+    print("\nbreakers (open):")
+    for name, shard in cluster.shards.items():
+        guard = shard.containment
+        open_counts = {
+            site: len(registry.open_keys())
+            for site, registry in (
+                ("wrappers", guard.wrappers),
+                ("verifiers", guard.verifiers),
+                ("notifiers", guard.notifiers),
+            )
+        }
+        print(f"  {name:<12} " + " ".join(
+            f"{site}={count}" for site, count in open_counts.items()
+        ))
+
+    print("\nmemo:")
+    for name, shard in cluster.shards.items():
+        memo_stats = shard.memo_stats
+        print(f"  {name:<12} records={len(shard.memo)} "
+              f"adoptions={memo_stats.adoptions} "
+              f"misses={memo_stats.misses}")
+
+    print("\ndurable L2:")
+    for name, shard in cluster.shards.items():
+        storage = shard.storage_stats
+        print(f"  {name:<12} demotions={storage.demotions} "
+              f"promotions={storage.promotions} "
+              f"write_failures={storage.write_failures}")
+
+    healthy = not problems and unhealthy == 0
+    print(f"\nverdict: {'healthy' if healthy else 'UNHEALTHY'}")
+    return 0 if healthy else 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -169,7 +313,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--smoke), a18 persistent L2 tier — warm-vs-cold restart "
             "hit ratios, restart-to-recovery latency and disk-fault "
             "degradation with crash instants mid-run (alias: "
-            "persistence; supports --smoke).  Examples: "
+            "persistence; supports --smoke), a19 overload robustness — "
+            "offered-load sweep with deadlines, load shedding and "
+            "hedged reads toggled, plus a gray-shard arm (alias: "
+            "overload; supports --smoke).  Examples: "
             "'repro bench a12', 'repro bench a1 --faults', "
             "'repro bench a14', 'repro bench table1 --faults partition', "
             "'repro bench --faults' (all experiments under chaos)."
@@ -190,20 +337,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a18, faults (alias for a12), recovery (alias "
+        help="table1, a1..a19, faults (alias for a12), recovery (alias "
         "for a13), containment (alias for a14), memo (alias for a15), "
         "stampede (alias for a16), cluster (alias for a17), "
-        "persistence (alias for a18), or all (default)",
+        "persistence (alias for a18), overload (alias for a19), "
+        "or all (default)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
         help="reduced-size run for CI perf-smoke jobs (supported by "
-        "a15, a16, a17 and a18; still writes the BENCH_<ID>.json "
+        "a15, a16, a17, a18 and a19; still writes the BENCH_<ID>.json "
         "artifact)",
     )
     bench.add_argument(
         "--faults", nargs="?", const="standard", default=None,
-        choices=("standard", "partition", "crash", "misbehave", "diskchaos"),
+        choices=(
+            "standard", "partition", "crash", "misbehave", "diskchaos",
+            "grayshard",
+        ),
         metavar="SCENARIO",
         help="inject a named chaos fault scenario into every simulation "
         "context built while the experiment runs.  'standard' (the "
@@ -220,9 +371,30 @@ def build_parser() -> argparse.ArgumentParser:
         "firewalls) absorbs.  'diskchaos': crash-scenario chaos plus a "
         "hostile disk (failed writes, lying fsyncs, corrupted records, "
         "slow I/O) under any cache with a storage_policy, absorbed via "
-        "CRC drops, the storage breaker and L1-only fallback",
+        "CRC drops, the storage breaker and L1-only fallback.  "
+        "'grayshard': standard plus one cluster shard (cluster-0) "
+        "whose fetches burn 150 extra virtual ms without erroring — "
+        "the gray failure the overload layer's EWMA health tracking "
+        "and hedged reads absorb",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    doctor = commands.add_parser(
+        "doctor",
+        help="seeded smoke workload + health report",
+        description=(
+            "Run a seeded paced workload through a fully-wired "
+            "two-shard cluster (containment + memo + durable L2 + "
+            "overload) and print the operator introspection surfaces: "
+            "shard health, overload counters, open breakers, memo "
+            "occupancy and L2 stats.  Exit code 0 when healthy."
+        ),
+    )
+    doctor.add_argument(
+        "--seed", type=int, default=7,
+        help="workload seed for the smoke documents (default 7)",
+    )
+    doctor.set_defaults(func=_cmd_doctor)
 
     demo = commands.add_parser("demo", help="run a tiny inline demo")
     demo.set_defaults(func=_cmd_demo)

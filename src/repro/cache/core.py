@@ -43,6 +43,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.replacement import ReplacementPolicy
     from repro.faults.retry import RetryPolicy
     from repro.ids import CacheId, DocumentId
+    from repro.overload.budget import DeadlineBudget
+    from repro.overload.gate import OverloadGate
     from repro.placeless.kernel import PlacelessKernel
     from repro.placeless.reference import DocumentReference
     from repro.sim.context import SimContext
@@ -142,6 +144,15 @@ class CacheCore:
         #: pipeline's storage stage a strict no-op, evictions purely
         #: destructive and restarts cold.
         self.l2: "L2Tier | None" = None
+        #: The overload gate (deadlines + admission control), installed
+        #: by the manager when an overload policy is configured;
+        #: ``None`` (the default) keeps every read unbudgeted and
+        #: unshed — the historical path the golden digests pin.
+        self.overload: "OverloadGate | None" = None
+        #: The plain cache name (the manager's ``name`` argument, before
+        #: id-minting prefixes it) — the target string fault-plan gray
+        #: windows match against.
+        self.name: str = "cache"
 
     # -- instrumentation -----------------------------------------------------
 
@@ -190,14 +201,33 @@ class CacheCore:
         outcome = self.kernel.read(reference)
         return outcome.content, outcome.meta
 
-    def fetch_with_retry(self, reference: "DocumentReference"):
-        """Fetch from the level below under the retry policy, if any."""
+    def fetch_with_retry(
+        self,
+        reference: "DocumentReference",
+        budget: "DeadlineBudget | None" = None,
+    ):
+        """Fetch from the level below under the retry policy, if any.
+
+        A *budget* caps retry backoff at the read's remaining deadline
+        (re-evaluated before each sleep) — retries never burn time the
+        caller no longer has.  A gray-failing shard (fault-plan window
+        targeting this cache's name) charges its slow-fetch penalty
+        here, before the fetch proper, which is what the cluster's
+        hedge delay races against.
+        """
+        faults = self.ctx.faults
+        if faults is not None:
+            gray_ms = faults.gray_fetch_delay_ms(self.name)
+            if gray_ms > 0.0:
+                self.ctx.charge(gray_ms)
+                self.emit("fetch", "gray-slow", delay_ms=gray_ms)
         if self.retry_policy is None:
             return self.fetch(reference)
         return self.retry_policy.call(
             self.ctx,
             lambda: self.fetch(reference),
             on_retry=self.count_retry,
+            budget_ms=None if budget is None else (lambda: budget.remaining_ms),
         )
 
     def count_retry(

@@ -40,6 +40,8 @@ __all__ = [
     "BusStatsProjection",
     "ConcurrencyStats",
     "ConcurrencyStatsProjection",
+    "OverloadStats",
+    "OverloadStatsProjection",
     "STAGE_ORDER",
 ]
 
@@ -75,6 +77,10 @@ STAGE_ORDER = (
     "resync",
     "journal",
     "crash",
+    "overload",
+    "deadline",
+    "hedge",
+    "health",
 )
 
 
@@ -406,6 +412,95 @@ class ConcurrencyStatsProjection:
             stats.bailed_contained += 1
         elif event.outcome == "bailed-capacity":
             stats.bailed_capacity += 1
+
+
+@dataclass(slots=True)
+class OverloadStats:
+    """Counters for the overload layer (deadlines, shedding, hedging).
+
+    ``admitted`` / ``shed_*`` come from the admission gate at the top
+    of the read pipeline; shed counts are split by priority class so
+    the defining overload property — BULK sheds before QOS, CRITICAL
+    never sheds — is directly assertable.  ``deadline_exceeded`` counts
+    reads whose budget ran out *before* the fetch began (they degrade
+    via serve-stale or fail, but never start work nobody will wait
+    for); ``deadline_late`` counts fetches that finished past their
+    deadline — served, because the bytes were already paid for.
+    ``deadline_violations`` is the invariant counter the CI gate pins
+    at zero: work *started* past an expired deadline, impossible by
+    construction of the fetch gate.  Hedge and health counters are fed
+    by the cluster layer.
+    """
+
+    admitted: int = 0
+    shed_bulk: int = 0
+    shed_qos: int = 0
+    shed_critical: int = 0
+    deadline_exceeded: int = 0
+    deadline_late: int = 0
+    deadline_skips: int = 0
+    deadline_violations: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    hedges_lost: int = 0
+    failovers: int = 0
+    recoveries: int = 0
+
+    @property
+    def shed(self) -> int:
+        """Total reads refused by admission control."""
+        return self.shed_bulk + self.shed_qos + self.shed_critical
+
+    def shed_ratio(self) -> float:
+        """Fraction of gated reads that were shed (0.0 when idle)."""
+        total = self.admitted + self.shed
+        return self.shed / total if total else 0.0
+
+
+class OverloadStatsProjection:
+    """Derives :class:`OverloadStats` from the overload-layer stages."""
+
+    _STAGES = frozenset({"overload", "deadline", "hedge", "health"})
+
+    def __init__(self) -> None:
+        self.stats = OverloadStats()
+
+    def __call__(self, event: StageEvent) -> None:
+        if event.stage not in self._STAGES:
+            return
+        stats = self.stats
+        if event.stage == "overload":
+            if event.outcome == "admitted":
+                stats.admitted += 1
+            elif event.outcome == "shed":
+                priority = event.payload.get("priority")
+                if priority == "bulk":
+                    stats.shed_bulk += 1
+                elif priority == "qos":
+                    stats.shed_qos += 1
+                else:
+                    stats.shed_critical += 1
+        elif event.stage == "deadline":
+            if event.outcome == "exceeded":
+                stats.deadline_exceeded += 1
+            elif event.outcome == "late":
+                stats.deadline_late += 1
+            elif event.outcome == "skipped":
+                stats.deadline_skips += 1
+            elif event.outcome == "violated":
+                stats.deadline_violations += 1
+        elif event.stage == "hedge":
+            if event.outcome == "launched":
+                stats.hedges_launched += 1
+            elif event.outcome == "won":
+                stats.hedges_won += 1
+            elif event.outcome == "lost":
+                stats.hedges_lost += 1
+        elif event.stage == "health":
+            if event.outcome == "failover":
+                stats.failovers += 1
+            elif event.outcome == "recovered":
+                stats.recoveries += 1
 
 
 class BusStatsProjection:

@@ -29,6 +29,8 @@ from repro.cache.instrumentation import (
     ConcurrencyStats,
     ConcurrencyStatsProjection,
     InstrumentationBus,
+    OverloadStats,
+    OverloadStatsProjection,
     StageRecorder,
     StatsProjection,
 )
@@ -48,14 +50,21 @@ from repro.cache.policies import (
     DegradationPolicy,
     GreedyDualSizePolicy,
     MemoPolicy,
+    OverloadPolicy,
     RecoveryPolicy,
     ReplacementPolicy,
     StoragePolicy,
     VoteAdmissionPolicy,
 )
 from repro.cache.recovery import ConsistencyRecoveryManager, RecoveryStats
-from repro.errors import CacheCapacityError, CacheError
+from repro.errors import (
+    CacheCapacityError,
+    CacheError,
+    DeadlineExceededError,
+    OverloadShedError,
+)
 from repro.ids import DocumentId, UserId
+from repro.overload.gate import OverloadGate
 from repro.sim.scheduler import AsyncScheduler, FlightTable
 from repro.sim.topology import CachePlacement, Topology
 
@@ -184,6 +193,29 @@ class DocumentCache:
         faults trip a storage breaker; while it is open the cache runs
         L1-only.  ``None`` (the default) builds no tier and keeps the
         cache byte-identical to its storage-free behaviour.
+    overload_policy:
+        Opt-in overload robustness
+        (:class:`~repro.cache.policies.OverloadPolicy`, e.g.
+        :class:`~repro.cache.policies.DefaultOverloadPolicy`): every
+        application read carries an end-to-end
+        :class:`~repro.overload.budget.DeadlineBudget` (tightened to
+        the chain's QoS access-time target when one is declared),
+        charged implicitly by every virtual-clock charge on the path
+        and gated explicitly before the expensive seams; an expired
+        read degrades through the serve-stale ladder instead of
+        starting work nobody will wait for, and retry backoff never
+        sleeps past the remaining budget.  A token-bucket + sojourn
+        admission controller in front of the pipeline sheds
+        lowest-priority reads first (priority derived from the chain's
+        properties: pinning → critical, finite QoS target → qos, else
+        bulk) so goodput stays flat past saturation.  Shed and
+        deadline-failed reads surface as typed
+        :class:`~repro.errors.OverloadShedError` /
+        :class:`~repro.errors.DeadlineExceededError` outcomes — always
+        in-place entries from :meth:`read_many`, regardless of
+        ``return_exceptions``.  ``None`` (the default) keeps every read
+        unbudgeted and unshed, byte-identical to the pre-overload
+        pipeline.
     core:
         Injected :class:`~repro.cache.core.CacheCore` — the cluster
         layer's seam.  When supplied, the state-building arguments
@@ -231,6 +263,7 @@ class DocumentCache:
         memo_policy: MemoPolicy | None = None,
         concurrency_policy: ConcurrencyPolicy | None = None,
         storage_policy: StoragePolicy | None = None,
+        overload_policy: OverloadPolicy | None = None,
         core: CacheCore | None = None,
         memo: TransformMemo | None = None,
         flights: "FlightTable | None" = None,
@@ -262,10 +295,13 @@ class DocumentCache:
                 verifier_quarantine_threshold=verifier_quarantine_threshold,
                 bypass_backing_on_error=bypass_backing_on_error,
             )
+        if core is None:
+            self._core.name = name
         self._wire_pipelines()
         self._wire_containment(containment_policy, ctx)
         self._wire_memo(memo_policy, memo)
         self._wire_concurrency(concurrency_policy, flights)
+        self._wire_overload(overload_policy, ctx)
         self._wire_recovery(recovery_policy)
         # Storage wires last: the tier's construction-time recovery
         # scan reloads into the memo table and dirty buffer, which the
@@ -385,6 +421,16 @@ class DocumentCache:
             self._core.concurrency = concurrency_policy
             self._concurrency_stats = ConcurrencyStatsProjection()
             self.instrumentation.subscribe(self._concurrency_stats)
+
+    def _wire_overload(
+        self, overload_policy: OverloadPolicy | None, ctx
+    ) -> None:
+        self._overload_stats: OverloadStatsProjection | None = None
+        if overload_policy is None:
+            return
+        self._core.overload = OverloadGate(ctx.clock, overload_policy)
+        self._overload_stats = OverloadStatsProjection()
+        self.instrumentation.subscribe(self._overload_stats)
 
     def _wire_recovery(self, recovery_policy: RecoveryPolicy | None) -> None:
         self._recovery: ConsistencyRecoveryManager | None = None
@@ -553,30 +599,84 @@ class DocumentCache:
 
         With ``return_exceptions`` per-read failures are returned
         in-place instead of re-raised (the whole batch always runs to
-        termination either way).
+        termination either way).  With an ``overload_policy``, shed and
+        deadline-failed reads are *always* returned in-place as typed
+        :class:`~repro.errors.OverloadShedError` /
+        :class:`~repro.errors.DeadlineExceededError` entries — an
+        overloaded batch is an expected outcome, not a caller bug —
+        and every read in the batch shares the batch-start enqueue
+        instant, so sojourn (and the deadline) accrues while earlier
+        reads hold the clock.
         """
+        overload = self._core.overload
         if self._core.concurrency is None:
-            if not return_exceptions:
-                return [self.read(reference) for reference in references]
-            outcomes: list = []
+            if overload is None:
+                # The historical sequential arm, byte-identical.
+                if not return_exceptions:
+                    return [self.read(reference) for reference in references]
+                outcomes: list = []
+                for reference in references:
+                    try:
+                        outcomes.append(self.read(reference))
+                    except Exception as error:
+                        outcomes.append(error)
+                return outcomes
+            enqueued_ms = self._core.ctx.clock.now_ms
+            gated: list = []
             for reference in references:
                 try:
-                    outcomes.append(self.read(reference))
+                    gated.append(
+                        self._core.scheduler.drive(
+                            self._reads.iterate(
+                                reference, enqueued_ms=enqueued_ms
+                            )
+                        )
+                    )
+                except (OverloadShedError, DeadlineExceededError) as error:
+                    gated.append(error)
                 except Exception as error:
-                    outcomes.append(error)
-            return outcomes
+                    if not return_exceptions:
+                        raise
+                    gated.append(error)
+                self._drain_prefetch()
+            return gated
         scheduler = AsyncScheduler()
+        if overload is None:
+            results = scheduler.run(
+                [
+                    self.iterate_read(reference, scheduler=scheduler)
+                    for reference in references
+                ],
+                return_exceptions=return_exceptions,
+            )
+            self._drain_prefetch()
+            return results
+        enqueued_ms = self._core.ctx.clock.now_ms
         results = scheduler.run(
             [
-                self.iterate_read(reference, scheduler=scheduler)
+                self.iterate_read(
+                    reference, scheduler=scheduler, enqueued_ms=enqueued_ms
+                )
                 for reference in references
             ],
-            return_exceptions=return_exceptions,
+            return_exceptions=True,
         )
+        if not return_exceptions:
+            for result in results:
+                if isinstance(result, BaseException) and not isinstance(
+                    result, (OverloadShedError, DeadlineExceededError)
+                ):
+                    raise result
         self._drain_prefetch()
         return results
 
-    def iterate_read(self, reference: "DocumentReference", *, scheduler):
+    def iterate_read(
+        self,
+        reference: "DocumentReference",
+        *,
+        scheduler,
+        enqueued_ms: float | None = None,
+    ):
         """One read as a suspendable generator for an external scheduler.
 
         The cluster-layer seam behind :meth:`read_many`: a coordinator
@@ -587,7 +687,9 @@ class DocumentCache:
         coalescing then span cache boundaries.  Callers must
         :meth:`drain_prefetch` once the batch completes.
         """
-        return self._reads.iterate(reference, scheduler=scheduler)
+        return self._reads.iterate(
+            reference, scheduler=scheduler, enqueued_ms=enqueued_ms
+        )
 
     def drain_prefetch(self) -> None:
         """Service queued collection prefetches (see :meth:`read_many`)."""
@@ -702,6 +804,23 @@ class DocumentCache:
         return (
             self._concurrency_stats.stats
             if self._concurrency_stats is not None
+            else None
+        )
+
+    # -- overload --------------------------------------------------------------
+
+    @property
+    def overload_policy(self) -> OverloadPolicy | None:
+        """The overload policy, when one is set."""
+        gate = self._core.overload
+        return gate.policy if gate is not None else None
+
+    @property
+    def overload_stats(self) -> OverloadStats | None:
+        """Overload-layer counters (``None`` without an overload policy)."""
+        return (
+            self._overload_stats.stats
+            if self._overload_stats is not None
             else None
         )
 

@@ -46,7 +46,8 @@ from repro.cache.notifiers import install_minimum_notifiers
 from repro.cache.policies import AdmissionDecision
 from repro.cache.verifiers import Verdict
 from repro.content.signature import sign
-from repro.errors import CacheError
+from repro.errors import CacheError, OverloadShedError
+from repro.overload.admission import PRIORITY_NAMES
 from repro.sim.scheduler import (
     FETCH_SEAM,
     VERIFIER_SEAM,
@@ -56,6 +57,7 @@ from repro.sim.scheduler import (
 from repro.streams.chain import property_site, read_chain_properties
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overload.budget import DeadlineBudget
     from repro.placeless.document import PathMeta
     from repro.placeless.reference import DocumentReference
 
@@ -159,6 +161,13 @@ class ReadContext:
     #: Times this read suspended on another read's flight and re-entered
     #: the pipeline (0 for leaders and uncoalesced reads).
     follows: int = 0
+    #: When the read entered the system (a batch's start instant for
+    #: ``read_many``); the admission controller's sojourn signal.
+    #: ``None`` means it arrived the moment the pipeline started.
+    enqueued_ms: float | None = None
+    #: The read's end-to-end deadline budget; ``None`` when the
+    #: overload layer is off (the default) or deadlines are disabled.
+    budget: "DeadlineBudget | None" = None
 
 
 @dataclass
@@ -485,6 +494,12 @@ class L2Stage:
     def run(self, ctx: ReadContext):
         if self.core.l2 is None:
             return None
+        if ctx.budget is not None and ctx.budget.expired:
+            # An expired read skips the disk probe and CRC work: the
+            # fetch gate downstream fails it into the degradation
+            # ladder without spending more of anyone's time.
+            self.core.emit("deadline", "skipped", key=ctx.key, seam="l2")
+            return None
         return self.core.l2.promote(ctx)
 
 
@@ -515,6 +530,11 @@ class MemoStage:
         core = self.core
         memo = core.memo
         if memo is None:
+            return None
+        if ctx.budget is not None and ctx.budget.expired:
+            # Same fast-fail as the L2 stage: no probe charge for a
+            # read whose deadline already passed.
+            core.emit("deadline", "skipped", key=ctx.key, seam="memo")
             return None
         chain = read_chain_properties(ctx.reference)
         guard = core.containment
@@ -721,6 +741,13 @@ class SingleFlightStage:
         scheduler = ctx.scheduler
         if scheduler is None or not scheduler.supports_concurrency:
             return None
+        if ctx.budget is not None and ctx.budget.expired:
+            # An expired read neither follows (it cannot afford the
+            # wait) nor leads (its fetch gate will refuse, stranding
+            # followers on a doomed flight) — it falls straight through
+            # to the fetch gate and the degradation ladder.
+            core.emit("deadline", "skipped", key=ctx.key, seam="flight")
+            return None
         guard = core.containment
         if guard is not None and self._chain_blocked(guard, ctx):
             core.emit("coalesce", "bailed-contained", key=ctx.key)
@@ -786,14 +813,31 @@ class FetchStage:
             ctx.content, ctx.meta = core.fetch_with_retry(ctx.reference)
             self._mark_contained(ctx)
             return None
+        budget = ctx.budget
+        if budget is not None and budget.expired:
+            # The deadline ran out before the expensive part began:
+            # don't start a fetch whose result nobody will wait for.
+            # The degradation stage downstream may still answer with
+            # acceptable stale bytes before the error surfaces.
+            core.emit("deadline", "exceeded", key=ctx.key, seam="fetch")
+            ctx.fetch_error = budget.exceeded("fetch")
+            return None
         try:
-            ctx.content, ctx.meta = core.fetch_with_retry(ctx.reference)
+            ctx.content, ctx.meta = core.fetch_with_retry(
+                ctx.reference, budget=budget
+            )
         except CacheError:
             raise
         except Exception as error:
             core.emit("fetch", "failed", key=ctx.key)
             ctx.fetch_error = error
             return None
+        if budget is not None and budget.expired:
+            # The fetch itself overran the deadline.  The bytes are
+            # fresh and already paid for, so they are served — "late",
+            # not a violation (a violation is starting work past the
+            # deadline, which the gate above rules out).
+            core.emit("deadline", "late", key=ctx.key, seam="fetch")
         self._mark_contained(ctx)
         return None
 
@@ -971,20 +1015,31 @@ class ReadPipeline:
         *,
         for_fill: bool = False,
         scheduler: "Scheduler | None" = None,
+        enqueued_ms: float | None = None,
     ):
         """One read as a scheduler-drivable generator.
 
         ``scheduler`` is whatever will drive the generator; the
         single-flight stage consults it to decide whether suspending is
         possible at all.  Nested reads (prefetch drains, backing-cache
-        fills) leave it unset and run sequentially.
+        fills) leave it unset and run sequentially.  ``enqueued_ms``
+        back-dates the read's arrival (``read_many`` batches pass their
+        start instant) for the admission controller's sojourn signal.
         """
+        budget = None
+        if self.core.overload is not None and not for_fill:
+            # The budget starts at *enqueue*: queueing delay counts
+            # against the deadline, which is what makes sojourn-based
+            # shedding protect the reads that are admitted.
+            budget = self.core.overload.budget_for(reference, enqueued_ms)
         ctx = ReadContext(
             reference=reference,
             key=EntryKey.for_reference(reference),
             started_ms=self.core.ctx.clock.now_ms,
             for_fill=for_fill,
             scheduler=scheduler or self.core.scheduler,
+            enqueued_ms=enqueued_ms,
+            budget=budget,
         )
         return self._iterate(ctx)
 
@@ -992,6 +1047,28 @@ class ReadPipeline:
         core = self.core
         concurrent = ctx.scheduler is not None and ctx.scheduler.supports_concurrency
         try:
+            if not ctx.for_fill and core.overload is not None:
+                decision = core.overload.admit(ctx.reference, ctx.enqueued_ms)
+                if decision is not None:
+                    if not decision.admitted:
+                        core.emit(
+                            "overload", "shed", key=ctx.key,
+                            priority=PRIORITY_NAMES[decision.priority],
+                            reason=decision.reason,
+                            sojourn_ms=decision.sojourn_ms,
+                        )
+                        raise OverloadShedError(
+                            f"read shed by admission control "
+                            f"({decision.reason}: priority "
+                            f"{PRIORITY_NAMES[decision.priority]}, sojourn "
+                            f"{decision.sojourn_ms:.1f}ms, queue depth "
+                            f"{decision.queue_depth:.0f})"
+                        )
+                    core.emit(
+                        "overload", "admitted", key=ctx.key,
+                        priority=PRIORITY_NAMES[decision.priority],
+                        sojourn_ms=decision.sojourn_ms,
+                    )
             while True:
                 followed = False
                 for stage in self.stages:

@@ -54,6 +54,8 @@ __all__ = [
     "DefaultRecoveryPolicy",
     "StoragePolicy",
     "DefaultStoragePolicy",
+    "OverloadPolicy",
+    "DefaultOverloadPolicy",
     "ReplacementPolicy",
     "GreedyDualSizePolicy",
 ]
@@ -482,6 +484,168 @@ class DefaultStoragePolicy:
         self.probe_cost_ms = probe_cost_ms
         self.breaker_failure_threshold = breaker_failure_threshold
         self.breaker_probation_ms = breaker_probation_ms
+
+
+@runtime_checkable
+class OverloadPolicy(Protocol):
+    """Configuration seam for the overload-robustness layer.
+
+    A cache constructed with an overload policy gets an
+    :class:`~repro.overload.gate.OverloadGate`: reads carry a
+    :class:`~repro.overload.budget.DeadlineBudget` derived from the
+    chain's QoS access-time target (expiry degrades through the
+    serve-stale ladder before raising
+    :class:`~repro.errors.DeadlineExceededError`), an admission
+    controller sheds the lowest priority class past saturation with
+    :class:`~repro.errors.OverloadShedError`, and — on a
+    :class:`~repro.cluster.coordinator.CacheCluster` — gray-failing
+    shards are hedged to their replica and hard-failing shards routed
+    around.  ``None`` (the default) builds no gate and leaves the
+    cache byte-identical to its pre-overload behaviour.
+    """
+
+    #: Deadline propagation: budget every read, gate expensive seams.
+    deadlines_enabled: bool
+    #: Allowance for chains without a finite QoS target.
+    default_deadline_ms: float
+    #: Tighten the allowance to the chain's QoS ``max_access_time_ms``.
+    deadline_from_qos: bool
+    #: Admission control / load shedding.
+    shedding_enabled: bool
+    #: Token-bucket refill rate (reads per virtual second) and capacity.
+    admission_rate_per_s: float
+    admission_burst: float
+    #: Overdraft bound: queue depth past which non-critical reads shed.
+    queue_limit: float
+    #: CoDel-style sojourn threshold; bulk reads shed past it, QoS
+    #: reads past twice it, critical reads never.
+    sojourn_threshold_ms: float
+    #: Cluster hedging + health (ignored by a standalone cache).
+    hedging_enabled: bool
+    #: Hedge delay = healthy-fleet p95 × this factor, clamped below.
+    hedge_delay_factor: float
+    hedge_delay_min_ms: float
+    hedge_delay_max_ms: float
+    #: Gray detection: EWMA ≥ factor × healthiest peer's EWMA, after
+    #: at least ``health_min_samples`` reads.
+    gray_latency_factor: float
+    health_min_samples: int
+    health_ewma_alpha: float
+    #: Failover: consecutive errors that mark a shard unhealthy, and
+    #: consecutive clean reads that restore it (and its stickiness).
+    unhealthy_error_threshold: int
+    recovery_successes: int
+
+
+class DefaultOverloadPolicy:
+    """Deadlines + shedding + hedging with sensible defaults.
+
+    Parameters
+    ----------
+    deadlines, shedding, hedging:
+        Individually disable the three mechanisms (all on by default —
+        constructing the policy at all is the opt-in) for ablations.
+    default_deadline_ms:
+        End-to-end budget for reads whose chain carries no finite QoS
+        access-time target (the paper's §3 example is 250 ms).
+    deadline_from_qos:
+        Tighten the budget to the chain's ``max_access_time_ms``.
+    admission_rate_per_s, admission_burst, queue_limit,
+    sojourn_threshold_ms:
+        Admission-controller tuning (see
+        :class:`~repro.overload.admission.AdmissionController`).
+    hedge_delay_factor, hedge_delay_min_ms, hedge_delay_max_ms:
+        Hedge-delay shaping over the healthy-fleet p95.
+    gray_latency_factor, health_min_samples, health_ewma_alpha,
+    unhealthy_error_threshold, recovery_successes:
+        Health-tracker tuning (see
+        :class:`~repro.overload.health.HealthTracker`).
+    """
+
+    def __init__(
+        self,
+        deadlines: bool = True,
+        shedding: bool = True,
+        hedging: bool = True,
+        default_deadline_ms: float = 250.0,
+        deadline_from_qos: bool = True,
+        admission_rate_per_s: float = 200.0,
+        admission_burst: float = 16.0,
+        queue_limit: float = 32.0,
+        sojourn_threshold_ms: float = 100.0,
+        hedge_delay_factor: float = 1.0,
+        hedge_delay_min_ms: float = 1.0,
+        hedge_delay_max_ms: float = 250.0,
+        gray_latency_factor: float = 3.0,
+        health_min_samples: int = 8,
+        health_ewma_alpha: float = 0.2,
+        unhealthy_error_threshold: int = 3,
+        recovery_successes: int = 3,
+    ) -> None:
+        if default_deadline_ms <= 0:
+            raise CacheError(
+                f"default_deadline_ms must be positive: {default_deadline_ms}"
+            )
+        if admission_rate_per_s <= 0:
+            raise CacheError(
+                f"admission_rate_per_s must be positive: {admission_rate_per_s}"
+            )
+        if admission_burst < 1:
+            raise CacheError(
+                f"admission_burst must be >= 1: {admission_burst}"
+            )
+        if queue_limit < 0:
+            raise CacheError(
+                f"queue_limit must be non-negative: {queue_limit}"
+            )
+        if sojourn_threshold_ms < 0:
+            raise CacheError(
+                f"sojourn_threshold_ms must be non-negative: "
+                f"{sojourn_threshold_ms}"
+            )
+        if hedge_delay_factor <= 0:
+            raise CacheError(
+                f"hedge_delay_factor must be positive: {hedge_delay_factor}"
+            )
+        if not 0 <= hedge_delay_min_ms <= hedge_delay_max_ms:
+            raise CacheError(
+                "hedge delay clamp must satisfy 0 <= min <= max: "
+                f"{hedge_delay_min_ms}..{hedge_delay_max_ms}"
+            )
+        if gray_latency_factor <= 1.0:
+            raise CacheError(
+                f"gray_latency_factor must be > 1: {gray_latency_factor}"
+            )
+        if not 0.0 < health_ewma_alpha <= 1.0:
+            raise CacheError(
+                f"health_ewma_alpha must be in (0, 1]: {health_ewma_alpha}"
+            )
+        if (
+            health_min_samples < 1
+            or unhealthy_error_threshold < 1
+            or recovery_successes < 1
+        ):
+            raise CacheError(
+                "health_min_samples, unhealthy_error_threshold and "
+                "recovery_successes must be >= 1"
+            )
+        self.deadlines_enabled = deadlines
+        self.shedding_enabled = shedding
+        self.hedging_enabled = hedging
+        self.default_deadline_ms = default_deadline_ms
+        self.deadline_from_qos = deadline_from_qos
+        self.admission_rate_per_s = admission_rate_per_s
+        self.admission_burst = admission_burst
+        self.queue_limit = queue_limit
+        self.sojourn_threshold_ms = sojourn_threshold_ms
+        self.hedge_delay_factor = hedge_delay_factor
+        self.hedge_delay_min_ms = hedge_delay_min_ms
+        self.hedge_delay_max_ms = hedge_delay_max_ms
+        self.gray_latency_factor = gray_latency_factor
+        self.health_min_samples = health_min_samples
+        self.health_ewma_alpha = health_ewma_alpha
+        self.unhealthy_error_threshold = unhealthy_error_threshold
+        self.recovery_successes = recovery_successes
 
 
 class DefaultDegradationPolicy:

@@ -32,10 +32,12 @@ byte-identical to a plain ``DocumentCache``.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import typing
 
 from repro.cache.consistency import InvalidationReason
 from repro.cache.entry import EntryKey
+from repro.cache.instrumentation import OverloadStats
 from repro.cache.manager import CacheReadOutcome, DocumentCache
 from repro.cache.memo import MemoStats
 from repro.cache.notifiers import InvalidationBus
@@ -43,8 +45,10 @@ from repro.cache.stats import CacheStats
 from repro.cluster.memo_share import SharedTransformMemo
 from repro.cluster.placement import HashRingPolicy, PlacementPolicy
 from repro.cluster.policy import ClusterPolicy
-from repro.errors import CacheError
-from repro.sim.scheduler import AsyncScheduler, FlightTable
+from repro.errors import CacheError, DeadlineExceededError, OverloadShedError
+from repro.overload.health import HealthTracker
+from repro.overload.hedge import hedged_iterate
+from repro.sim.scheduler import AsyncScheduler, FlightTable, InlineScheduler
 from repro.sim.topology import ClusterTopology
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -53,6 +57,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.policies import (
         ConcurrencyPolicy,
         MemoPolicy,
+        OverloadPolicy,
         RecoveryPolicy,
     )
     from repro.ids import DocumentId, UserId
@@ -89,6 +94,20 @@ class CacheCluster:
         Forwarded to every shard.  A recovery policy is required for
         :meth:`rebalance`, :meth:`add_shard` and :meth:`lose_shard`
         (topology repair *is* an anti-entropy resync).
+    overload_policy:
+        Opt-in overload robustness (:class:`~repro.cache.policies
+        .OverloadPolicy`), forwarded to every shard (deadline budgets +
+        admission control per shard) and additionally activating the
+        cluster-level machinery: a :class:`~repro.overload.health
+        .HealthTracker` fed from every shard's instrumentation bus,
+        hedged reads that launch a backup on the replica shard once a
+        miss stalls at the fetch seam for the healthy fleet's p95
+        (loser cancelled), and placement failover that routes around a
+        shard with ``unhealthy_error_threshold`` consecutive failed
+        reads — sending every fourth read through as a canary so
+        ``recovery_successes`` clean responses restore stickiness.
+        ``None`` (the default) keeps routing, reads and digests
+        byte-identical to the pre-overload cluster.
     name:
         Prefix for shard names (``{name}-0`` … ``{name}-{N-1}``).
     shard_kwargs:
@@ -110,6 +129,7 @@ class CacheCluster:
         memo_policy: "MemoPolicy | None" = None,
         concurrency_policy: "ConcurrencyPolicy | None" = None,
         recovery_policy: "RecoveryPolicy | None" = None,
+        overload_policy: "OverloadPolicy | None" = None,
         name: str = "cluster",
         shard_kwargs: dict | None = None,
     ) -> None:
@@ -132,6 +152,24 @@ class CacheCluster:
         self._concurrency = concurrency_policy
         self._recovery_policy = recovery_policy
         self._shard_kwargs = dict(shard_kwargs or {})
+        self._overload_policy = overload_policy
+        #: Shard-health classification (``None`` without an overload
+        #: policy): EWMA latency + error streaks per shard, fed from
+        #: every shard's instrumentation bus.
+        self.health: HealthTracker | None = None
+        self._failed_over: set[str] = set()
+        self._probes: dict[str, int] = {}
+        self._hedge_wins: dict[str, int] = {}
+        self._probe_queue: list[tuple[str, "DocumentReference"]] = []
+        self._draining_probes = False
+        if overload_policy is not None:
+            self.health = HealthTracker(
+                ewma_alpha=overload_policy.health_ewma_alpha,
+                gray_latency_factor=overload_policy.gray_latency_factor,
+                min_samples=overload_policy.health_min_samples,
+                error_threshold=overload_policy.unhealthy_error_threshold,
+                recovery_successes=overload_policy.recovery_successes,
+            )
         self._next_index = 0
         names = [self._next_name() for _ in range(shard_count)]
         self._placement = placement_policy or HashRingPolicy(names)
@@ -185,12 +223,18 @@ class CacheCluster:
             memo_policy=self._memo_policy,
             concurrency_policy=self._concurrency,
             recovery_policy=self._recovery_policy,
+            overload_policy=self._overload_policy,
             memo=self.shared_memo,
             flights=self.shared_flights,
             **self._shard_kwargs,
         )
         if self.shared_memo is not None:
             self.shared_memo.attach(shard_name, shard.core)
+        if self.health is not None:
+            self.health.track(shard_name)
+            shard.instrumentation.subscribe(
+                functools.partial(self.health.on_event, shard_name)
+            )
         self._shards[shard_name] = shard
         return shard
 
@@ -283,16 +327,217 @@ class CacheCluster:
         self._sum_counters(total, per_shard)
         return total
 
+    @property
+    def overload_stats(self) -> OverloadStats | None:
+        """Overload counters summed across shards (``None`` without an
+        overload policy) — admission sheds, deadline outcomes, hedge
+        launches/wins and health failovers/recoveries."""
+        per_shard = [
+            shard.overload_stats
+            for shard in self._shards.values()
+            if shard.overload_stats is not None
+        ]
+        if not per_shard:
+            return None
+        total = OverloadStats()
+        self._sum_counters(total, per_shard)
+        return total
+
+    def health_snapshot(self) -> dict[str, dict[str, object]]:
+        """Per-shard health table (empty without an overload policy)."""
+        return self.health.snapshot() if self.health is not None else {}
+
     # -- read/write routing ---------------------------------------------------
+
+    #: Every Nth read routed at a failed-over primary goes through as a
+    #: canary, so ``recovery_successes`` clean responses can restore
+    #: its placement stickiness (routing *everything* around a shard
+    #: would starve the health tracker of recovery evidence).
+    _PROBE_INTERVAL = 4
 
     def _route(self, reference: "DocumentReference") -> DocumentCache:
         key = EntryKey.for_reference(reference)
         self._placement.note_access(key)
-        return self._shards[self._placement.place(key)]
+        shard_name = self._placement.place(key)
+        if self.health is not None:
+            shard_name = self._failover(key, shard_name)
+        return self._shards[shard_name]
+
+    def _failover(self, key: EntryKey, primary: str) -> str:
+        """Route around an unhealthy primary, probing for recovery."""
+        health = self.health
+        assert health is not None
+        unhealthy = health.is_unhealthy(primary)
+        if unhealthy and primary not in self._failed_over:
+            self._failed_over.add(primary)
+            self._shards[primary].core.emit(
+                "health", "failover", shard=primary
+            )
+        elif not unhealthy and primary in self._failed_over:
+            self._failed_over.discard(primary)
+            self._probes.pop(primary, None)
+            self._shards[primary].core.emit(
+                "health", "recovered", shard=primary
+            )
+        if not unhealthy or len(self._shards) < 2:
+            return primary
+        count = self._probes.get(primary, 0) + 1
+        self._probes[primary] = count
+        if count % self._PROBE_INTERVAL == 0:
+            return primary
+        replica = self._replica_name(key, primary)
+        return replica if replica is not None else primary
+
+    def _replica_name(self, key: EntryKey, primary: str) -> str | None:
+        """The backup shard for *key*: ring-adjacent when the policy
+        can say (``replica_for``), else the first other live shard."""
+        replica_for = getattr(self._placement, "replica_for", None)
+        if replica_for is not None:
+            replica = replica_for(key, primary)
+            if replica is not None and replica in self._shards:
+                return replica
+            return None
+        for shard_name in self._shards:
+            if shard_name != primary:
+                return shard_name
+        return None
+
+    # -- hedged reads ---------------------------------------------------------
+
+    def _hedging_active(self) -> bool:
+        policy = self._overload_policy
+        return (
+            policy is not None
+            and policy.hedging_enabled
+            and len(self._shards) >= 2
+        )
+
+    def _hedge_delay_ms(self, primary: str) -> float:
+        """How long a miss may stall at the fetch seam before hedging.
+
+        The healthy fleet's p95 read latency (excluding the primary),
+        scaled by the policy's ``hedge_delay_factor`` and clamped to
+        its [min, max] window; before the tracker has samples the max
+        is used, so cold clusters hedge conservatively.
+        """
+        policy = self._overload_policy
+        assert policy is not None and self.health is not None
+        p95 = self.health.p95_healthy_ms(excluding=primary)
+        base = p95 if p95 is not None else policy.hedge_delay_max_ms
+        delay = base * policy.hedge_delay_factor
+        return min(
+            max(delay, policy.hedge_delay_min_ms), policy.hedge_delay_max_ms
+        )
+
+    def _hedged_generator(
+        self,
+        shard: DocumentCache,
+        reference: "DocumentReference",
+        *,
+        scheduler,
+        enqueued_ms: float | None = None,
+    ):
+        """The shard's pipeline generator, hedge-wrapped when warranted.
+
+        A hedge is armed only when the health tracker classifies the
+        primary as *gray* — hedging a healthy shard's misses would not
+        just double load for nothing: in the synchronous simulator the
+        backup always lands first, so the cancelled primary never fills
+        and every future read of the key would miss-and-hedge forever.
+        Gray-gated, fills land on the primary in the healthy steady
+        state and only a genuinely slow shard's misses divert.
+
+        The backup is a plain sequential read on the replica shard —
+        its core scheduler cannot suspend, so it can never park on the
+        flight the primary may be leading.  A backup win ``close()``\\ s
+        the primary; its led flight fails over to follower promotion.
+        """
+        primary_name = shard.core.name
+        primary = shard.iterate_read(
+            reference, scheduler=scheduler, enqueued_ms=enqueued_ms
+        )
+        assert self.health is not None
+        if not self.health.is_gray(primary_name):
+            return primary
+        backup_name = self._replica_name(
+            EntryKey.for_reference(reference), primary_name
+        )
+        if backup_name is None:
+            return primary
+        backup = self._shards[backup_name]
+
+        def note(outcome: str) -> None:
+            shard.core.emit(
+                "hedge", outcome, shard=primary_name, backup=backup_name
+            )
+            if outcome == "won":
+                self._note_hedge_win(primary_name, reference)
+
+        return hedged_iterate(
+            primary,
+            lambda: backup.read(reference),
+            clock=self.ctx.clock,
+            delay_ms=self._hedge_delay_ms(primary_name),
+            on_outcome=note,
+        )
+
+    #: Every Nth hedge win against one shard queues a probe-refill
+    #: (see :meth:`_drain_probes`).
+    _HEDGE_PROBE_INTERVAL = 4
+
+    def _note_hedge_win(
+        self, primary_name: str, reference: "DocumentReference"
+    ) -> None:
+        """Queue an off-path probe-refill every Nth win against a shard."""
+        count = self._hedge_wins.get(primary_name, 0) + 1
+        self._hedge_wins[primary_name] = count
+        if count % self._HEDGE_PROBE_INTERVAL == 0:
+            self._probe_queue.append((primary_name, reference))
+
+    def _drain_probes(self) -> None:
+        """Run queued probe-refills against gray shards, off-path.
+
+        A hedge win cancels the primary's fetch, which starves the
+        health tracker of the fresh samples it needs to ever declare
+        the shard healthy again — and leaves the primary unfilled, so
+        the key keeps missing there.  The probe re-reads the cancelled
+        reference directly on the primary *after* the user-facing
+        outcome is computed (the drain-prefetch shape): its latency
+        charges the shared virtual clock but no user read's
+        ``elapsed_ms``, its terminal read event refreshes the shard's
+        fetch EWMA, and its fill restores placement locality.  Probe
+        failures (sheds, fetch errors) are swallowed — the error feed
+        into the tracker is signal enough.
+        """
+        if self._draining_probes:
+            return
+        self._draining_probes = True
+        try:
+            while self._probe_queue:
+                shard_name, reference = self._probe_queue.pop(0)
+                shard = self._shards.get(shard_name)
+                if shard is None:
+                    continue
+                try:
+                    shard.read(reference)
+                except CacheError:
+                    pass
+        finally:
+            self._draining_probes = False
 
     def read(self, reference: "DocumentReference") -> CacheReadOutcome:
-        """Read through the owning shard."""
-        return self._route(reference).read(reference)
+        """Read through the owning shard (hedged when the overload
+        policy enables hedging and a replica shard exists)."""
+        shard = self._route(reference)
+        if not self._hedging_active():
+            return shard.read(reference)
+        scheduler = InlineScheduler()
+        outcome = scheduler.drive(
+            self._hedged_generator(shard, reference, scheduler=scheduler)
+        )
+        shard.drain_prefetch()
+        self._drain_probes()
+        return outcome
 
     def write(self, reference: "DocumentReference", content: bytes) -> float:
         """Write through the owning shard; returns elapsed virtual ms."""
@@ -314,32 +559,109 @@ class CacheCluster:
         with shared flights a miss on shard A parks followers from
         shard B on the same leader.  Without one, the batch degenerates
         to sequential routed reads (the byte-equivalence baseline).
+
+        With an ``overload_policy`` the batch mirrors
+        :meth:`~repro.cache.manager.DocumentCache.read_many` exactly:
+        every read shares the batch-start enqueue instant (sojourn and
+        deadlines accrue while earlier reads hold the clock), each
+        generator is hedge-wrapped when hedging is on, and shed /
+        deadline-failed reads are *always* returned in-place as typed
+        :class:`~repro.errors.OverloadShedError` /
+        :class:`~repro.errors.DeadlineExceededError` entries,
+        regardless of ``return_exceptions``.
         """
+        overload = self._overload_policy
         if self._concurrency is None:
-            if not return_exceptions:
-                return [self.read(reference) for reference in references]
-            outcomes: list = []
+            if overload is None:
+                # The historical sequential arm, byte-identical.
+                if not return_exceptions:
+                    return [self.read(reference) for reference in references]
+                outcomes: list = []
+                for reference in references:
+                    try:
+                        outcomes.append(self.read(reference))
+                    except Exception as error:
+                        outcomes.append(error)
+                return outcomes
+            enqueued_ms = self.ctx.clock.now_ms
+            gated: list = []
             for reference in references:
                 try:
-                    outcomes.append(self.read(reference))
+                    gated.append(
+                        self._read_budgeted(reference, enqueued_ms)
+                    )
+                except (OverloadShedError, DeadlineExceededError) as error:
+                    gated.append(error)
                 except Exception as error:
-                    outcomes.append(error)
-            return outcomes
+                    if not return_exceptions:
+                        raise
+                    gated.append(error)
+            return gated
         scheduler = AsyncScheduler()
+        hedging = self._hedging_active()
+        enqueued_ms = self.ctx.clock.now_ms if overload is not None else None
         touched: dict[str, DocumentCache] = {}
         generators = []
         for reference in references:
             shard = self._route(reference)
             touched[shard.cache_id] = shard
-            generators.append(
-                shard.iterate_read(reference, scheduler=scheduler)
-            )
+            if hedging:
+                generators.append(
+                    self._hedged_generator(
+                        shard,
+                        reference,
+                        scheduler=scheduler,
+                        enqueued_ms=enqueued_ms,
+                    )
+                )
+            else:
+                generators.append(
+                    shard.iterate_read(
+                        reference,
+                        scheduler=scheduler,
+                        enqueued_ms=enqueued_ms,
+                    )
+                )
         results = scheduler.run(
-            generators, return_exceptions=return_exceptions
+            generators,
+            return_exceptions=return_exceptions or overload is not None,
         )
+        if overload is not None and not return_exceptions:
+            for result in results:
+                if isinstance(result, BaseException) and not isinstance(
+                    result, (OverloadShedError, DeadlineExceededError)
+                ):
+                    raise result
         for shard in touched.values():
             shard.drain_prefetch()
+        self._drain_probes()
         return results
+
+    def _read_budgeted(
+        self, reference: "DocumentReference", enqueued_ms: float
+    ) -> CacheReadOutcome:
+        """One routed read carrying the batch's enqueue instant."""
+        shard = self._route(reference)
+        if self._hedging_active():
+            scheduler = InlineScheduler()
+            outcome = scheduler.drive(
+                self._hedged_generator(
+                    shard,
+                    reference,
+                    scheduler=scheduler,
+                    enqueued_ms=enqueued_ms,
+                )
+            )
+        else:
+            scheduler = shard.core.scheduler
+            outcome = scheduler.drive(
+                shard.iterate_read(
+                    reference, scheduler=scheduler, enqueued_ms=enqueued_ms
+                )
+            )
+        shard.drain_prefetch()
+        self._drain_probes()
+        return outcome
 
     def flush_all(self) -> int:
         """Flush buffered write-backs on every shard."""
@@ -443,6 +765,11 @@ class CacheCluster:
             raise CacheError(f"unknown shard: {shard_name!r}") from None
         self._placement.remove_shard(shard_name)
         self.topology.remove_shard(shard_name)
+        if self.health is not None:
+            self.health.forget(shard_name)
+        self._failed_over.discard(shard_name)
+        self._probes.pop(shard_name, None)
+        self._hedge_wins.pop(shard_name, None)
         if self.shared_memo is not None:
             self.shared_memo.detach(shard_name)
             # The dead process's view dies with it; the shared plane

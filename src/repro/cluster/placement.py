@@ -122,6 +122,25 @@ class PlacementRing:
             index = 0
         return self._owners[index]
 
+    def replica_for(self, key: "EntryKey", primary: str) -> str | None:
+        """The first shard *after* *key*'s arc that is not *primary*.
+
+        Classic successor-replica placement: walking the ring past the
+        owner yields a deterministic, per-key-spread backup — the shard
+        the cluster hedges to and fails over onto.  ``None`` when no
+        distinct shard exists (a one-shard ring).
+        """
+        if len(self._shards) < 2:
+            return None
+        point = _hash_point(placement_label(key))
+        index = bisect.bisect_right(self._points, point)
+        count = len(self._points)
+        for offset in range(count):
+            owner = self._owners[(index + offset) % count]
+            if owner != primary:
+                return owner
+        return None
+
 
 @runtime_checkable
 class PlacementPolicy(Protocol):
@@ -167,6 +186,10 @@ class HashRingPolicy:
 
     def place(self, key: "EntryKey") -> str:
         return self.ring.place(key)
+
+    def replica_for(self, key: "EntryKey", primary: str) -> str | None:
+        """*key*'s ring-successor replica (see the ring's method)."""
+        return self.ring.replica_for(key, primary)
 
     def note_access(self, key: "EntryKey") -> None:
         """Stateless placement ignores access feedback."""
@@ -236,6 +259,13 @@ class ReinforcedCounterPolicy:
         if pinned is not None and pinned in self.ring:
             return pinned
         return self.ring.place(key)
+
+    def replica_for(self, key: "EntryKey", primary: str) -> str | None:
+        """*key*'s ring-successor replica; pins never bind a backup —
+        a hedge/failover target must differ from wherever the key is
+        pinned, which :meth:`PlacementRing.replica_for`'s ``primary``
+        exclusion already guarantees."""
+        return self.ring.replica_for(key, primary)
 
     def note_access(self, key: "EntryKey") -> None:
         label = placement_label(key)

@@ -37,6 +37,8 @@ __all__ = [
     "ContainmentError",
     "CircuitOpenError",
     "BudgetExceededError",
+    "DeadlineExceededError",
+    "OverloadShedError",
     "PermissionDeniedError",
     "NFSError",
     "BadFileHandleError",
@@ -194,6 +196,33 @@ class BudgetExceededError(ContainmentError):
     stream; property code that runs away past either cap is aborted
     with this error, which the containment guard converts into a
     breaker failure plus the configured fallback.
+    """
+
+
+class DeadlineExceededError(CacheError):
+    """A read's end-to-end deadline budget ran out mid-pipeline.
+
+    The paper's QoS property promises a maximum access time per
+    document; the overload layer turns that promise into a
+    :class:`~repro.overload.DeadlineBudget` carried through the read
+    context and charged at every expensive seam (fetch, chain
+    execution, retry backoff, single-flight follower wait, shard hop).
+    When the budget is exhausted before the bytes are ready, the
+    pipeline raises this error *into* the existing degradation ladder
+    — a bounded-stale serve is preferred to a late answer — and only
+    sheds the read when no acceptable stale copy exists.
+    """
+
+
+class OverloadShedError(CacheError):
+    """An admission controller refused a read to protect goodput.
+
+    Raised before any pipeline work happens when the token-bucket /
+    sojourn gate decides the system is past saturation and this read's
+    priority class (derived from the chain's QoS property) is the one
+    to sacrifice.  A shed read did zero fetch or chain work — the
+    whole point is that rejecting it early keeps the reads that *are*
+    admitted inside their deadlines.
     """
 
 

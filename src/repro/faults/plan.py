@@ -132,6 +132,9 @@ class FaultStats:
     disk_fsyncs_lost: int = 0
     disk_records_corrupted: int = 0
     disk_slow_ios: int = 0
+    #: Fetches slowed by a gray-failure window on their cache/shard —
+    #: the shard is up and answering, just pathologically slow.
+    gray_slow_fetches: int = 0
 
     @property
     def total(self) -> int:
@@ -146,6 +149,7 @@ class FaultStats:
             + self.properties_corrupted
             + self.disk_write_failures + self.disk_fsyncs_lost
             + self.disk_records_corrupted + self.disk_slow_ios
+            + self.gray_slow_fetches
         )
 
 
@@ -230,6 +234,12 @@ class FaultPlan:
     disk_slow_io_probability, disk_slow_io_ms:
         Per-operation chance a disk I/O burns ``disk_slow_io_ms`` extra
         virtual milliseconds.
+    gray_windows, gray_slow_ms:
+        Scheduled *gray-failure* windows: while a window covers a cache
+        (the ``target`` matches the cache/shard name), every fetch
+        through that cache burns ``gray_slow_ms`` extra virtual
+        milliseconds — up, correct, and pathologically slow, the
+        failure mode hedged reads exist for.
     """
 
     def __init__(
@@ -256,6 +266,8 @@ class FaultPlan:
         disk_corrupt_probability: float = 0.0,
         disk_slow_io_probability: float = 0.0,
         disk_slow_io_ms: float = 5.0,
+        gray_windows: "Sequence[OutageWindow]" = (),
+        gray_slow_ms: float = 150.0,
     ) -> None:
         self.clock = clock
         self.seed = seed
@@ -329,6 +341,12 @@ class FaultPlan:
                 f"disk_slow_io_ms must be non-negative: {disk_slow_io_ms}"
             )
         self.disk_slow_io_ms = disk_slow_io_ms
+        self.gray_windows = tuple(gray_windows)
+        if gray_slow_ms < 0:
+            raise WorkloadError(
+                f"gray_slow_ms must be non-negative: {gray_slow_ms}"
+            )
+        self.gray_slow_ms = gray_slow_ms
         # One RNG stream per seam; string seeding is hash-salt-proof.
         self._rng_fetch = random.Random(f"{seed}:fetch")
         self._rng_bus = random.Random(f"{seed}:bus")
@@ -527,6 +545,29 @@ class FaultPlan:
             self.stats.disk_slow_ios += 1
             self._record("disk", "slow-io", target)
             return self.disk_slow_io_ms
+        return 0.0
+
+    # -- gray-failure seam ---------------------------------------------------
+
+    def gray_fetch_delay_ms(self, cache_name: str) -> float:
+        """Extra virtual ms one fetch burns on a gray-failing cache.
+
+        A *gray* failure is the nastiest kind for a cluster: the shard
+        answers every request correctly, just pathologically slowly, so
+        nothing trips an error-based breaker.  Window-based and
+        RNG-free — like :meth:`bus_partitioned` — so plans without gray
+        windows keep byte-identical injection streams.  The window's
+        ``target`` matches the cache/shard *name* (e.g. a cluster's
+        ``"cluster-shard0"``); ``None`` grays every cache.
+        """
+        if not self.gray_windows:
+            return 0.0
+        now = self.clock.now_ms
+        for window in self.gray_windows:
+            if window.covers(now, cache_name):
+                self.stats.gray_slow_fetches += 1
+                self._record("shard", "gray-slow", cache_name)
+                return self.gray_slow_ms
         return 0.0
 
     # -- topology seam -------------------------------------------------------

@@ -91,6 +91,7 @@ class RetryPolicy:
         ctx: "SimContext",
         fn: "Callable[[], T]",
         on_retry: "Callable[[int, float, BaseException], None] | None" = None,
+        budget_ms: "float | Callable[[], float] | None" = None,
     ) -> "T":
         """Run *fn* under this policy, charging backoff to *ctx*'s clock.
 
@@ -98,6 +99,15 @@ class RetryPolicy:
         (after the backoff has been charged), letting callers count
         retries and attribute the delay.  The final failure propagates
         unchanged.
+
+        ``budget_ms`` caps the time retries may burn: when the next
+        backoff would sleep longer than the remaining budget, the
+        policy gives up immediately — re-raising the last failure
+        *without* charging the sleep — instead of burning virtual time
+        the caller no longer has.  Pass a float for a fixed allowance
+        or a zero-argument callable re-evaluated before each backoff
+        (e.g. a deadline budget's ``remaining_ms``); ``None`` (the
+        default) keeps the uncapped behaviour.
         """
         attempt = 1
         while True:
@@ -107,6 +117,13 @@ class RetryPolicy:
                 if attempt >= self.max_attempts:
                     raise
                 delay_ms = self.delay_before_retry_ms(attempt)
+                if budget_ms is not None:
+                    remaining = budget_ms() if callable(budget_ms) else budget_ms
+                    if delay_ms >= remaining:
+                        raise
+                    if not callable(budget_ms):
+                        # A fixed allowance is drawn down as it is spent.
+                        budget_ms = remaining - delay_ms
                 ctx.charge(delay_ms)
                 if on_retry is not None:
                     on_retry(attempt, delay_ms, error)

@@ -32,6 +32,7 @@ __all__ = [
     "crash_chaos_scenario",
     "misbehave_chaos_scenario",
     "diskchaos_chaos_scenario",
+    "grayshard_chaos_scenario",
     "NAMED_CHAOS_SCENARIOS",
 ]
 
@@ -233,6 +234,39 @@ def diskchaos_chaos_scenario(
     )
 
 
+def grayshard_chaos_scenario(
+    clock: "VirtualClock",
+    seed: int = 0,
+    target: str | None = "cluster-0",
+    start_ms: float = 2_000.0,
+    duration_ms: float = 20_000.0,
+    slow_ms: float = 150.0,
+) -> FaultPlan:
+    """``--faults grayshard``: standard chaos plus one gray-failing shard.
+
+    During the window, every fetch through the targeted shard (by
+    default ``cluster-0``, the first shard of a default-named
+    ``CacheCluster``) burns ``slow_ms`` extra virtual milliseconds.
+    The shard stays up and correct — no error-based breaker ever
+    trips — which is exactly the failure mode the cluster's hedged
+    reads and EWMA health tracking exist to absorb.  Non-cluster
+    experiments name their cache ``"cache"``, which never matches the
+    target, so this scenario is safe to point anywhere.
+    """
+    return FaultPlan(
+        clock,
+        seed=seed,
+        notifier_loss_probability=0.05,
+        notifier_delay_probability=0.10,
+        notifier_delay_ms=100.0,
+        verifier_failure_probability=0.02,
+        gray_windows=(
+            OutageWindow(start_ms, start_ms + duration_ms, target),
+        ),
+        gray_slow_ms=slow_ms,
+    )
+
+
 #: Scenario names accepted by the CLI's ``--faults [NAME]`` flag.
 NAMED_CHAOS_SCENARIOS = {
     "standard": standard_chaos_scenario,
@@ -240,4 +274,5 @@ NAMED_CHAOS_SCENARIOS = {
     "crash": crash_chaos_scenario,
     "misbehave": misbehave_chaos_scenario,
     "diskchaos": diskchaos_chaos_scenario,
+    "grayshard": grayshard_chaos_scenario,
 }

@@ -52,6 +52,7 @@ __all__ = [
     "FlightTable",
     "Scheduler",
     "SequentialScheduler",
+    "InlineScheduler",
     "AsyncScheduler",
 ]
 
@@ -220,6 +221,23 @@ class SequentialScheduler:
                     "sequential scheduler cannot wait on a flight"
                 )
             payload = None
+
+
+class InlineScheduler(SequentialScheduler):
+    """Sequential driving of a *concurrency-capable* pipeline.
+
+    Identical to :class:`SequentialScheduler` except that it advertises
+    ``supports_concurrency``, so the pipeline yields its seam markers
+    (and may lead — though never follow — a single flight).  The
+    cluster's hedged single reads need exactly this: the hedge
+    combinator watches for the fetch seam, but the read itself is
+    driven inline with no event loop.  A follower wait cannot arise —
+    an inline read runs alone, so no other leader's flight can be in
+    the table when it looks — and :meth:`SequentialScheduler.drive`
+    guards against it regardless.
+    """
+
+    supports_concurrency = True
 
 
 class AsyncScheduler:

@@ -20,6 +20,7 @@ from repro.faults.scenarios import (
     cache_crash_scenario,
     crash_chaos_scenario,
     diskchaos_chaos_scenario,
+    grayshard_chaos_scenario,
     misbehave_chaos_scenario,
     partition_chaos_scenario,
     partition_scenario,
@@ -96,12 +97,14 @@ class TestScenarioFactories:
     def test_named_scenarios_cover_the_cli_choices(self):
         assert set(NAMED_CHAOS_SCENARIOS) == {
             "standard", "partition", "crash", "misbehave", "diskchaos",
+            "grayshard",
         }
         assert NAMED_CHAOS_SCENARIOS["standard"] is standard_chaos_scenario
         assert NAMED_CHAOS_SCENARIOS["partition"] is partition_chaos_scenario
         assert NAMED_CHAOS_SCENARIOS["crash"] is crash_chaos_scenario
         assert NAMED_CHAOS_SCENARIOS["misbehave"] is misbehave_chaos_scenario
         assert NAMED_CHAOS_SCENARIOS["diskchaos"] is diskchaos_chaos_scenario
+        assert NAMED_CHAOS_SCENARIOS["grayshard"] is grayshard_chaos_scenario
 
     def test_chaos_variants_keep_the_standard_probabilities(self):
         clock = VirtualClock()
@@ -111,6 +114,7 @@ class TestScenarioFactories:
             crash_chaos_scenario,
             misbehave_chaos_scenario,
             diskchaos_chaos_scenario,
+            grayshard_chaos_scenario,
         ):
             variant = factory(VirtualClock())
             assert (

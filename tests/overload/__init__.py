@@ -1,0 +1,1 @@
+"""Overload tier: deadlines, admission control, hedged reads, health."""

@@ -1,0 +1,147 @@
+"""Placement failover: routing around an unhealthy shard, with canaries.
+
+A hard-failing shard is marked unhealthy after a streak of consecutive
+errors; the cluster then routes its keys to their ring-successor
+replica, but lets every fourth read through as a canary so the health
+tracker can accumulate the recovery evidence that restores the shard's
+placement stickiness.
+"""
+
+from __future__ import annotations
+
+from repro.cache.policies import DefaultOverloadPolicy
+from repro.cluster import CacheCluster
+from repro.placeless.kernel import PlacelessKernel
+from repro.workload.documents import CorpusSpec, build_corpus
+from repro.workload.users import build_population
+
+_SEED = 43
+
+
+def _deploy(name="fo"):
+    kernel = PlacelessKernel()
+    owner = kernel.create_user("owner")
+    corpus = build_corpus(
+        kernel,
+        owner,
+        CorpusSpec(n_documents=6, ttl_ms=3_600_000.0, seed=_SEED),
+    )
+    population = build_population(
+        kernel, corpus, 4, personalized_fraction=0.0, seed=_SEED
+    )
+    cluster = CacheCluster(
+        kernel,
+        2,
+        capacity_bytes=1 << 30,
+        overload_policy=DefaultOverloadPolicy(hedging=False),
+        name=name,
+    )
+    references = [
+        population.reference(user, document)
+        for user in range(4)
+        for document in range(6)
+    ]
+    return cluster, references
+
+
+def _reads_served(shard) -> int:
+    return shard.stats.hits + shard.stats.misses
+
+
+def _primary_of(cluster, reference):
+    """The (health-tracker name, shard) a reference places on."""
+    primary = cluster.shard_for(reference)
+    name = next(
+        name
+        for name, shard in cluster.shards.items()
+        if shard is primary
+    )
+    return name, primary
+
+
+class TestPlacementFailover:
+    def test_unhealthy_primary_routes_to_the_replica(self):
+        cluster, references = _deploy()
+        reference = references[0]
+        primary_name, primary = _primary_of(cluster, reference)
+        replica = next(
+            shard
+            for shard in cluster.shards.values()
+            if shard is not primary
+        )
+        for _ in range(3):
+            cluster.health.observe_error(primary_name)
+        assert cluster.health.is_unhealthy(primary_name)
+
+        before_primary = _reads_served(primary)
+        before_replica = _reads_served(replica)
+        cluster.read(reference)
+        assert _reads_served(primary) == before_primary
+        assert _reads_served(replica) == before_replica + 1
+        assert cluster.overload_stats.failovers == 1
+
+    def test_every_fourth_read_is_a_canary_on_the_primary(self):
+        cluster, references = _deploy(name="canary")
+        reference = references[0]
+        primary_name, primary = _primary_of(cluster, reference)
+        for _ in range(3):
+            cluster.health.observe_error(primary_name)
+
+        served_by_primary = []
+        for _ in range(8):
+            before = _reads_served(primary)
+            cluster.read(reference)
+            served_by_primary.append(_reads_served(primary) > before)
+        # Probe counts run 1..8; every count divisible by 4 canaries
+        # through to the primary, the rest divert.
+        assert served_by_primary == [
+            False, False, False, True, False, False, False, True
+        ]
+
+    def test_clean_canaries_restore_the_primary(self):
+        cluster, references = _deploy(name="rec")
+        reference = references[0]
+        primary_name, primary = _primary_of(cluster, reference)
+        for _ in range(3):
+            cluster.health.observe_error(primary_name)
+        cluster.read(reference)  # diverted; marks the failover
+        assert cluster.overload_stats.failovers == 1
+
+        # Recovery demands `recovery_successes` consecutive clean
+        # reads; feed them directly (canary reads would take 12 rounds).
+        for _ in range(3):
+            cluster.health.observe_read(primary_name, 5.0)
+        assert not cluster.health.is_unhealthy(primary_name)
+
+        before = _reads_served(primary)
+        cluster.read(reference)
+        assert _reads_served(primary) == before + 1
+        stats = cluster.overload_stats
+        assert stats.recoveries == 1
+        snapshot = cluster.health_snapshot()
+        assert snapshot[primary_name]["state"] == "healthy"
+
+    def test_single_shard_cluster_never_diverts(self):
+        kernel = PlacelessKernel()
+        owner = kernel.create_user("owner")
+        corpus = build_corpus(
+            kernel, owner,
+            CorpusSpec(n_documents=2, ttl_ms=3_600_000.0, seed=_SEED),
+        )
+        population = build_population(
+            kernel, corpus, 1, personalized_fraction=0.0, seed=_SEED
+        )
+        cluster = CacheCluster(
+            kernel,
+            1,
+            capacity_bytes=1 << 30,
+            overload_policy=DefaultOverloadPolicy(hedging=False),
+            name="solo",
+        )
+        reference = population.reference(0, 0)
+        shard_name, shard = _primary_of(cluster, reference)
+        for _ in range(3):
+            cluster.health.observe_error(shard_name)
+        before = _reads_served(shard)
+        cluster.read(reference)  # nowhere else to go
+        assert _reads_served(shard) == before + 1

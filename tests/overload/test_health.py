@@ -1,0 +1,152 @@
+"""Unit tests for the shard health tracker and replica placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.entry import EntryKey
+from repro.cluster.placement import (
+    HashRingPolicy,
+    PlacementRing,
+    ReinforcedCounterPolicy,
+)
+from repro.errors import WorkloadError
+from repro.ids import DocumentId, UserId
+from repro.overload.health import HealthTracker
+
+
+def _key(n: int) -> EntryKey:
+    return EntryKey(
+        document_id=DocumentId(f"doc-{n}"), user_id=UserId(f"user-{n}")
+    )
+
+
+class TestHealthTracker:
+    def _tracker(self, **kwargs):
+        defaults = dict(min_samples=2, gray_latency_factor=3.0)
+        defaults.update(kwargs)
+        return HealthTracker(**defaults)
+
+    def test_only_fetch_path_reads_feed_latency(self):
+        tracker = self._tracker()
+        tracker.observe_read("s0", 100.0, fetched=False)
+        tracker.observe_read("s0", 100.0, fetched=False)
+        health = tracker.track("s0")
+        assert health.reads == 2
+        assert health.fetches == 0
+        assert health.ewma_ms is None
+        tracker.observe_read("s0", 10.0, fetched=True)
+        assert health.fetches == 1
+        assert health.ewma_ms == 10.0
+
+    def test_fast_dispositions_are_excluded_by_the_bus_feed(self):
+        class Event:
+            stage = "read"
+            elapsed_ms = 5.0
+
+            def __init__(self, outcome):
+                self.outcome = outcome
+
+        tracker = self._tracker()
+        for outcome in ("hit", "revalidated", "miss-adopted",
+                        "miss-memoized", "miss-promoted"):
+            tracker.on_event("s0", Event(outcome))
+        assert tracker.track("s0").fetches == 0
+        tracker.on_event("s0", Event("miss"))
+        assert tracker.track("s0").fetches == 1
+
+    def test_gray_needs_samples_on_both_sides(self):
+        tracker = self._tracker()
+        tracker.observe_read("slow", 90.0)
+        tracker.observe_read("slow", 90.0)
+        # No healthy peer floor yet: cannot be gray.
+        assert not tracker.is_gray("slow")
+        tracker.observe_read("fast", 10.0)
+        assert not tracker.is_gray("slow")  # peer under min_samples
+        tracker.observe_read("fast", 10.0)
+        assert tracker.is_gray("slow")      # 90 >= 3 x 10
+        assert not tracker.is_gray("fast")
+
+    def test_error_streak_fails_over_and_successes_recover(self):
+        tracker = self._tracker(error_threshold=3, recovery_successes=2)
+        for _ in range(2):
+            tracker.observe_error("s0")
+        assert not tracker.is_unhealthy("s0")
+        tracker.observe_error("s0")
+        assert tracker.is_unhealthy("s0")
+        assert tracker.failovers == 1
+        tracker.observe_read("s0", 5.0)
+        assert tracker.is_unhealthy("s0")
+        tracker.observe_read("s0", 5.0)
+        assert not tracker.is_unhealthy("s0")
+        assert tracker.recoveries == 1
+
+    def test_a_success_resets_the_error_streak(self):
+        tracker = self._tracker(error_threshold=3)
+        tracker.observe_error("s0")
+        tracker.observe_error("s0")
+        tracker.observe_read("s0", 5.0)
+        tracker.observe_error("s0")
+        assert not tracker.is_unhealthy("s0")
+
+    def test_p95_healthy_pools_only_clean_shards(self):
+        tracker = self._tracker()
+        for _ in range(4):
+            tracker.observe_read("fast", 10.0)
+            tracker.observe_read("gray", 100.0)
+        assert tracker.is_gray("gray")
+        assert tracker.p95_healthy_ms() == 10.0
+        assert tracker.p95_healthy_ms(excluding="fast") is None
+
+    def test_snapshot_reports_states_and_forget_drops(self):
+        tracker = self._tracker()
+        for _ in range(2):
+            tracker.observe_read("fast", 10.0)
+            tracker.observe_read("gray", 100.0)
+        for _ in range(3):
+            tracker.observe_error("down")
+        table = tracker.snapshot()
+        assert table["fast"]["state"] == "healthy"
+        assert table["gray"]["state"] == "gray"
+        assert table["down"]["state"] == "unhealthy"
+        assert table["fast"]["fetches"] == 2
+        tracker.forget("gray")
+        assert "gray" not in tracker.snapshot()
+
+    def test_constructor_validation(self):
+        with pytest.raises(WorkloadError):
+            HealthTracker(ewma_alpha=0.0)
+        with pytest.raises(WorkloadError):
+            HealthTracker(gray_latency_factor=1.0)
+        with pytest.raises(WorkloadError):
+            HealthTracker(min_samples=0)
+
+
+class TestReplicaPlacement:
+    def test_replica_differs_from_primary_and_is_deterministic(self):
+        ring = PlacementRing(["s0", "s1", "s2"])
+        for n in range(50):
+            key = _key(n)
+            primary = ring.place(key)
+            replica = ring.replica_for(key, primary)
+            assert replica is not None
+            assert replica != primary
+            assert replica == ring.replica_for(key, primary)
+
+    def test_single_shard_ring_has_no_replica(self):
+        ring = PlacementRing(["only"])
+        assert ring.replica_for(_key(1), "only") is None
+
+    def test_policies_delegate_to_the_ring(self):
+        key = _key(7)
+        hash_policy = HashRingPolicy(["s0", "s1"])
+        primary = hash_policy.place(key)
+        assert hash_policy.replica_for(key, primary) != primary
+        counter_policy = ReinforcedCounterPolicy(
+            ["s0", "s1"], pin_threshold=1
+        )
+        # Pin the key to its current shard: the backup must still come
+        # off the ring, never the pin.
+        counter_policy.note_access(key)
+        pinned = counter_policy.place(key)
+        assert counter_policy.replica_for(key, pinned) != pinned

@@ -1,0 +1,65 @@
+"""An untriggered overload gate must be invisible.
+
+The overload layer's opt-in contract has two halves.  ``None`` (no
+policy) builds no gate at all — the pinned golden digests in
+``tests/property/test_pipeline_equivalence.py`` cover that half.  This
+file covers the sharper half: a *constructed* gate whose limits are too
+permissive to ever fire must also change nothing — same stats, same
+virtual clock, same fault-injection trace, byte for byte.  Deadline
+checks, admission queries and priority classification all run on every
+read; none of them may draw randomness, charge the clock, or reorder
+work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.policies import DefaultOverloadPolicy
+from tests.property.test_pipeline_equivalence import (
+    GOLDEN_DIGESTS,
+    digest,
+    run_seeded_workload,
+)
+
+
+def _permissive_policy():
+    """Every mechanism armed, no limit reachable by a seeded workload."""
+    return DefaultOverloadPolicy(
+        default_deadline_ms=1e9,
+        deadline_from_qos=False,
+        admission_rate_per_s=1e9,
+        admission_burst=1e6,
+        queue_limit=1e6,
+        sojourn_threshold_ms=1e9,
+        hedging=False,
+    )
+
+
+class TestUntriggeredGateIsPure:
+    @pytest.mark.parametrize("seed", [77, 101, 202])
+    def test_chaos_runs_are_byte_identical_with_a_permissive_gate(
+        self, seed
+    ):
+        bare = run_seeded_workload(seed, chaos=True)
+        gated = run_seeded_workload(
+            seed, chaos=True, overload_policy=_permissive_policy()
+        )
+        assert digest(gated) == digest(bare)
+        assert gated["fault_trace"] == bare["fault_trace"]
+
+    @pytest.mark.parametrize("seed", [77, 202])
+    def test_healthy_runs_are_byte_identical_with_a_permissive_gate(
+        self, seed
+    ):
+        bare = run_seeded_workload(seed)
+        gated = run_seeded_workload(
+            seed, overload_policy=_permissive_policy()
+        )
+        assert digest(gated) == digest(bare)
+
+    def test_the_pinned_chaos_golden_survives_a_permissive_gate(self):
+        snap = run_seeded_workload(
+            7, chaos=True, overload_policy=_permissive_policy()
+        )
+        assert digest(snap) == GOLDEN_DIGESTS["chaos"]

@@ -40,6 +40,7 @@ def run_seeded_workload(
     share_across_users: bool = False,
     capacity_factor: float = 2.0,
     chaos: bool = False,
+    overload_policy=None,
 ) -> dict:
     """One deterministic deployment + trace; returns a comparable snapshot.
 
@@ -85,6 +86,7 @@ def run_seeded_workload(
         serve_stale_on_error=chaos,
         stale_serve_max_age_ms=30_000.0 if chaos else None,
         verifier_quarantine_threshold=4 if chaos else None,
+        overload_policy=overload_policy,
         name=f"equiv-{seed}",
     )
     runner = TraceRunner(

@@ -247,7 +247,7 @@ class TestCLIRouting:
             "a12", "faults", "a13", "recovery",
             "a14", "containment", "a15", "memo",
             "a16", "stampede", "a17", "cluster",
-            "a18", "persistence",
+            "a18", "persistence", "a19", "overload",
         }
         for module_name in _EXPERIMENT_MODULES.values():
             module = importlib.import_module(module_name)
