@@ -3,7 +3,7 @@
 Commands
 --------
 ``bench [EXPERIMENT] [--faults [SCENARIO]]``
-    Run one experiment (``table1``, ``a1`` … ``a19``) or all of them;
+    Run one experiment (``table1``, ``a1`` … ``a20``) or all of them;
     ``--faults`` runs it under a named chaos fault scenario
     (``standard`` when the name is omitted, ``partition`` / ``crash``
     to add a bus blackout or a mid-run cache crash, ``misbehave``
@@ -57,6 +57,8 @@ _EXPERIMENT_MODULES = {
     "persistence": "repro.bench.persistence",
     "a19": "repro.bench.overload",
     "overload": "repro.bench.overload",
+    "a20": "repro.bench.scale",
+    "scale": "repro.bench.scale",
 }
 
 
@@ -316,7 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
             "persistence; supports --smoke), a19 overload robustness — "
             "offered-load sweep with deadlines, load shedding and "
             "hedged reads toggled, plus a gray-shard arm (alias: "
-            "overload; supports --smoke).  Examples: "
+            "overload; supports --smoke), a20 wall-clock scale — "
+            "million-entry churn shootout (gds/gdsf/lru/rc), fast-lane "
+            "vs pipeline reads/sec, allocation probe and peak-RSS "
+            "report (alias: scale; supports --smoke).  Examples: "
             "'repro bench a12', 'repro bench a1 --faults', "
             "'repro bench a14', 'repro bench table1 --faults partition', "
             "'repro bench --faults' (all experiments under chaos)."
@@ -337,17 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "experiment", nargs="?", default="all",
-        help="table1, a1..a19, faults (alias for a12), recovery (alias "
+        help="table1, a1..a20, faults (alias for a12), recovery (alias "
         "for a13), containment (alias for a14), memo (alias for a15), "
         "stampede (alias for a16), cluster (alias for a17), "
         "persistence (alias for a18), overload (alias for a19), "
-        "or all (default)",
+        "scale (alias for a20), or all (default)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
         help="reduced-size run for CI perf-smoke jobs (supported by "
-        "a15, a16, a17, a18 and a19; still writes the BENCH_<ID>.json "
-        "artifact)",
+        "a15 through a20; still writes the BENCH_<ID>.json artifact)",
     )
     bench.add_argument(
         "--faults", nargs="?", const="standard", default=None,

@@ -1,0 +1,110 @@
+"""Wall-clock, RSS and allocation measurement for the perf benches.
+
+Everything else in :mod:`repro.bench` measures *virtual* time — the
+simulation's latency model.  The A20 scale bench measures the
+*interpreter*: how many reads per wall-clock second the cache sustains,
+how much resident memory a million-entry table costs, and how many
+heap blocks one hit allocates.  The helpers here are the shared
+instruments:
+
+* :func:`timed` — monotonic wall-clock timing of a callable;
+* :func:`peak_rss_kb` — the process high-water mark from ``getrusage``
+  (kilobytes on Linux; normalized from bytes on macOS);
+* :func:`allocation_probe` — heap blocks allocated per operation,
+  measured with ``sys.getallocatedblocks`` under a disabled collector
+  so a concurrent GC cannot turn a zero-allocation loop into a
+  negative number;
+* :func:`tracemalloc_breakdown` — optional top-N allocation-site
+  attribution for diagnosing a budget regression (never used inside a
+  timed section: tracemalloc multiplies allocation cost).
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import sys
+import time
+import tracemalloc
+from typing import Any, Callable, TypeVar
+
+__all__ = [
+    "timed",
+    "peak_rss_kb",
+    "allocation_probe",
+    "tracemalloc_breakdown",
+]
+
+T = TypeVar("T")
+
+
+def timed(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run *fn*; return ``(result, elapsed_seconds)`` (monotonic)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def peak_rss_kb() -> float:
+    """The process's peak resident set size, in kilobytes.
+
+    ``ru_maxrss`` is a high-water mark: it never decreases, so per-arm
+    readings in a multi-arm bench are monotone and the *final* reading
+    is the run's true peak.  Linux reports kilobytes, macOS bytes.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return rss / 1024.0
+    return float(rss)
+
+
+def allocation_probe(
+    operation: Callable[[], Any],
+    iterations: int = 128,
+    warmup: int = 32,
+) -> float:
+    """Mean heap blocks allocated (net) per call of *operation*.
+
+    The warmup laps populate caches (interned keys, memoized
+    signatures, recorder cells) so the steady state is what gets
+    measured.  The collector is disabled across the measured laps:
+    ``sys.getallocatedblocks`` counts live blocks, and a GC pass in the
+    middle of the window would deflate (or sign-flip) the delta.
+    """
+    for _ in range(warmup):
+        operation()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in range(iterations):
+            operation()
+        after = sys.getallocatedblocks()
+    finally:
+        if was_enabled:
+            gc.enable()
+    return (after - before) / iterations
+
+
+def tracemalloc_breakdown(
+    operation: Callable[[], Any],
+    iterations: int = 64,
+    top: int = 10,
+) -> list[str]:
+    """Top allocation sites for *operation*, one formatted line each.
+
+    Diagnostic only — run it when :func:`allocation_probe` exceeds a
+    budget to see *where* the blocks come from; never inside a timed
+    section.
+    """
+    tracemalloc.start()
+    try:
+        baseline = tracemalloc.take_snapshot()
+        for _ in range(iterations):
+            operation()
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    stats = snapshot.compare_to(baseline, "lineno")[:top]
+    return [str(stat) for stat in stats]

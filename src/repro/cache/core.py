@@ -67,6 +67,9 @@ VERIFIER_INSTALL_COST_MS = 0.05
 #: (document, user) → signature mapping from another user's entry.
 ADOPTION_COST_MS = 0.3
 
+#: Shared empty read-only bucket for documents with no cached entries.
+_NO_ENTRIES: dict = {}
+
 
 class CacheCore:
     """Mutable state + shared mechanics behind one ``DocumentCache``."""
@@ -110,6 +113,13 @@ class CacheCore:
         self.stats = CacheStats()
         self.store = ContentStore()
         self.entries: dict[EntryKey, CacheEntry] = {}
+        #: Secondary index: document → that document's live entries, in
+        #: global insertion order.  Adoption scans and invalidation
+        #: fan-out were O(total entries) per event without it, which is
+        #: what made million-entry tables unusable.
+        self.entries_by_document: dict[
+            "DocumentId", dict[EntryKey, CacheEntry]
+        ] = {}
         self.dirty: dict[EntryKey, tuple["DocumentReference", bytes]] = {}
         #: The consistency-recovery coordinator, installed by the manager
         #: when a recovery policy is configured; ``None`` (the default)
@@ -267,7 +277,7 @@ class CacheCore:
         )
         entry.pinned = bool(getattr(meta, "pin", False))
         entry.policy_state["source_signature"] = meta.source_signature
-        self.entries[key] = entry
+        self.insert_entry(entry)
         self.policy.on_insert(entry)
         # Fill overhead: register the returned verifiers and install the
         # minimum notifier set — Table 1's miss-vs-no-cache delta.
@@ -282,18 +292,22 @@ class CacheCore:
         return entry
 
     def evict_to_capacity(self, protect: EntryKey | None = None) -> None:
-        """Evict victims until physical bytes fit the capacity."""
+        """Evict victims until physical bytes fit the capacity.
+
+        The policy receives the full entry table plus the protected key
+        and performs its own pinned/protected filtering — rebuilding a
+        filtered candidate dict here cost O(n) per victim, which at
+        10^5+ entries turned every capacity overrun into a table scan.
+        """
         while self.store.physical_bytes > self.capacity_bytes:
-            candidates = {
-                key: entry
-                for key, entry in self.entries.items()
-                if key != protect and not entry.pinned
-            }
-            if not candidates:
+            try:
+                victim_key = self.policy.select_victim(
+                    self.entries, protect=protect
+                )
+            except CacheError:
                 raise CacheError(
                     "cannot satisfy capacity: nothing evictable"
-                )
-            victim_key = self.policy.select_victim(candidates)
+                ) from None
             victim = self.entries[victim_key]
             if self.l2 is not None and victim.signature in self.store:
                 # Demote-on-evict: the victim's bytes + metadata spill
@@ -337,10 +351,34 @@ class CacheCore:
         if entry is not None:
             self.drop(entry, reason, origin="internal")
 
+    def insert_entry(self, entry: CacheEntry) -> None:
+        """Install an entry in the table and the per-document index.
+
+        Every site that writes ``entries[key]`` must go through here so
+        the secondary index stays exact.
+        """
+        key = entry.key
+        self.entries[key] = entry
+        bucket = self.entries_by_document.get(key.document_id)
+        if bucket is None:
+            bucket = self.entries_by_document[key.document_id] = {}
+        bucket[key] = entry
+
+    def entries_for_document(
+        self, document_id: "DocumentId"
+    ) -> dict[EntryKey, CacheEntry]:
+        """The document's live entries (empty dict when none cached)."""
+        return self.entries_by_document.get(document_id, _NO_ENTRIES)
+
     def remove_entry(self, entry: CacheEntry) -> None:
         """Forget an entry and release its content-store reference."""
         if self.entries.get(entry.key) is entry:
             del self.entries[entry.key]
+            bucket = self.entries_by_document.get(entry.key.document_id)
+            if bucket is not None:
+                bucket.pop(entry.key, None)
+                if not bucket:
+                    del self.entries_by_document[entry.key.document_id]
             self.store.release(entry.signature)
             self.policy.on_remove(entry)
 
@@ -470,13 +508,14 @@ class CacheCore:
     ) -> bool:
         """Ground-truth staleness: raw source changed since fill.
 
-        Uses :meth:`BitProvider.peek`, which charges nothing — this is
-        simulation-side omniscience, not something a real cache could do.
+        Uses :meth:`BitProvider.peek_signature`, which charges nothing —
+        this is simulation-side omniscience, not something a real cache
+        could do.
         """
         recorded = entry.policy_state.get("source_signature")
         if recorded is None:
             return False
-        return sign(reference.base.provider.peek()) != recorded
+        return reference.base.provider.peek_signature() != recorded
 
     @staticmethod
     def verifier_fault_key(

@@ -43,8 +43,18 @@ class EntryKey(NamedTuple):
         pipeline stages, notifier/invalidation matching, stats
         attribution — must construct it through here, so the key shape
         is defined exactly once.
+
+        The key is interned on the reference: both halves are fixed at
+        reference construction, and at scale-workload read rates the
+        tuple allocation and repeated attribute walk dominate the hot
+        path (the interned key also hashes/compares by identity-cached
+        ``NamedTuple`` contents, so dict probes stay cheap).
         """
-        return cls(reference.base.document_id, reference.owner)
+        key = getattr(reference, "_entry_key", None)
+        if key is None:
+            key = cls(reference.base.document_id, reference.owner)
+            reference._entry_key = key  # type: ignore[attr-defined]
+        return key
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"({self.document_id}, {self.user_id})"

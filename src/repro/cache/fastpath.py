@@ -1,0 +1,268 @@
+"""The zero-allocation fast lane through the read pipeline.
+
+The staged :class:`~repro.cache.pipeline.ReadPipeline` buys its
+composability with per-read overhead: a :class:`ReadContext`, a
+generator, a scheduler drive loop, ten stage dispatches and a
+:class:`~repro.cache.instrumentation.StageEvent` per observation — all
+of it pure interpreter work that never touches the virtual clock.  At
+trace scale (the A20 million-entry churn workloads) that interpreter
+work *is* the wall-clock cost of a hit, because a verified hit charges
+one hop and runs a couple of verifiers and is otherwise pure
+bookkeeping.
+
+:class:`FastReadLane` serves the common case — a verified hit on a
+cache with every optional seam disabled — inline, with no context
+object, no generator, no stage dispatch and no event construction,
+while producing *byte-identical observable behaviour*: the same
+virtual-clock charges in the same order, the same
+:class:`~repro.cache.stats.CacheStats` counter updates, the same
+:class:`~repro.cache.instrumentation.StageRecorder` cells and the same
+:class:`~repro.cache.pipeline.CacheReadOutcome`.  The equivalence tests
+pin this with the golden workload digests run lane-on and lane-off.
+
+Eligibility is re-checked per read with O(1) attribute tests; any
+configured seam — transform memo, durable L2 tier, overload gate,
+concurrency policy, containment guard, fault plan, staleness tracking,
+a concurrent scheduler, or *any* instrumentation subscriber beyond the
+two the manager itself wires — falls back to the staged pipeline.  So
+does anything the fast lane does not model inline: a dirty write-back
+key, a miss, a quarantined verifier, a verifier that invalidates.  The
+fallback happens *before* the first charge, so a bailed read re-enters
+the staged pipeline from the top and is indistinguishable from one
+that never touched the lane.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cache.consistency import InvalidationReason
+from repro.cache.entry import EntryKey
+from repro.cache.instrumentation import StageCell
+from repro.cache.pipeline import CacheReadOutcome, ReadContext
+from repro.cache.verifiers import Verdict
+from repro.errors import CacheError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.core import CacheCore
+    from repro.cache.instrumentation import StageRecorder
+    from repro.cache.pipeline import ReadPipeline
+    from repro.placeless.reference import DocumentReference
+
+__all__ = ["FastReadLane"]
+
+
+class FastReadLane:
+    """Inline hit path over a :class:`~repro.cache.core.CacheCore`.
+
+    Construct *after* the manager has finished wiring: the lane
+    snapshots the instrumentation bus's subscriber tuple as its
+    baseline, and any later subscription (a test probe, an aggregating
+    projection) disqualifies the lane by identity comparison — direct
+    counter accumulation is only equivalent to emission while the
+    subscriber set is exactly what the manager wired.
+    """
+
+    __slots__ = (
+        "core", "reads", "recorder", "_baseline", "_hit_path",
+        "_miss_stages",
+    )
+
+    def __init__(
+        self,
+        core: "CacheCore",
+        reads: "ReadPipeline",
+        recorder: "StageRecorder",
+    ) -> None:
+        self.core = core
+        self.reads = reads
+        self.recorder = recorder
+        self._baseline = core.instrumentation.subscribers
+        self._hit_path = tuple(core.topology.hit_path())
+        # Stages after the verifier gate: where a read continues when a
+        # verifier invalidates mid-lane (adoption → L2 → memo →
+        # single-flight → fetch → degradation → admission).
+        self._miss_stages = tuple(reads.stages[3:])
+
+    # -- eligibility ---------------------------------------------------------
+
+    def _eligible(self, core: "CacheCore") -> bool:
+        """True when the staged pipeline would take the plain hit path."""
+        return (
+            core.memo is None
+            and core.l2 is None
+            and core.overload is None
+            and core.concurrency is None
+            and core.containment is None
+            and not core.track_staleness
+            and core.ctx.faults is None
+            and not core.scheduler.supports_concurrency
+            and core.instrumentation.subscribers is self._baseline
+        )
+
+    # -- the lane ------------------------------------------------------------
+
+    def read(self, reference: "DocumentReference") -> CacheReadOutcome:
+        """One application read; bails to the staged pipeline when the
+        configuration, the key's state, or the verifier verdicts leave
+        the modelled common case.  Nothing is charged before a bail, so
+        the fallback read is byte-identical to a lane-less one."""
+        core = self.core
+        if not self._eligible(core):
+            return self.reads.read(reference)
+        key = EntryKey.for_reference(reference)
+        if key in core.dirty:
+            # The dirty-flush stage would write first; rare, slow path.
+            return self.reads.read(reference)
+        entry = core.entries.get(key)
+        if entry is None:
+            # A miss runs the full staged miss path (adoption, fetch,
+            # degradation, admission); re-entering from the top costs
+            # one redundant table probe and nothing else.
+            return self.reads.read(reference)
+
+        clock = core.ctx.clock
+        started_ms = clock.now_ms
+        content = core.store.get(entry.signature)
+        disposition = "hit"
+        stats = core.stats
+        # "cache hit" latency: the local (or app→server) hop only.
+        for hop in self._hit_path:
+            core.ctx.charge_hop(hop, entry.size)
+
+        if core.use_verifiers:
+            verifiers = entry.verifiers
+            if verifiers and self._entry_quarantined(entry):
+                # Mirrors the staged gate's forced miss, then continues
+                # through the miss stages with the stale bytes parked.
+                core.drop(entry, InvalidationReason.VERIFIER_FAILED,
+                          origin="quarantine")
+                core.emit("quarantine", "forced-miss", key=key)
+                return self._continue_miss(
+                    reference, key, started_ms,
+                    stale=(content, entry.created_at_ms),
+                )
+            for verifier in verifiers:
+                verifier_started_ms = clock.now_ms
+                core.ctx.charge(verifier.cost_ms)
+                # Hot event, accumulated directly (see _record): one
+                # "verifier"/"executed" StageEvent per hit-side verifier
+                # run is the single largest allocation site on the path.
+                stats.verifier_executions += 1
+                stats.verifier_cost_ms += verifier.cost_ms
+                self._record(
+                    "verifier", "executed",
+                    clock.now_ms - verifier_started_ms,
+                )
+                try:
+                    result = verifier.run(clock.now_ms, content)
+                except Exception:
+                    self._note_failure(entry, verifier)
+                    core.drop(entry, InvalidationReason.VERIFIER_FAILED,
+                              origin="verifier")
+                    core.emit("verifier", "invalidated", key=key)
+                    core.note_verifier_caught_lost(entry)
+                    return self._continue_miss(
+                        reference, key, started_ms,
+                        stale=(content, entry.created_at_ms),
+                    )
+                core.degradation.note_verifier_success(
+                    core.verifier_fault_key(entry, verifier)
+                )
+                if result.verdict is Verdict.INVALID:
+                    reason = (
+                        InvalidationReason.SOURCE_UPDATED_OUT_OF_BAND
+                        if verifier.invalidation_label == "source"
+                        else InvalidationReason.EXTERNAL_CHANGED
+                    )
+                    core.drop(entry, reason, origin="verifier")
+                    core.emit("verifier", "invalidated", key=key)
+                    core.note_verifier_caught_lost(entry)
+                    return self._continue_miss(
+                        reference, key, started_ms,
+                        stale=(content, entry.created_at_ms),
+                    )
+                if result.verdict is Verdict.REVALIDATED:
+                    content = result.patched_content or b""
+                    core.replace_content(entry, content)
+                    core.emit("verifier", "revalidated", key=key)
+                    disposition = "revalidated"
+
+        if entry.cacheability.requires_event_forwarding:
+            core.forward_read(reference)
+
+        entry.touch(clock.now_ms)
+        core.policy.on_access(entry)
+        elapsed = clock.now_ms - started_ms
+        # The terminal "read" event, accumulated directly.
+        stats.hits += 1
+        stats.hit_latency_ms += elapsed
+        stats.bytes_served_from_cache += len(content)
+        self._record("read", disposition, elapsed)
+        if entry.policy_state.get("prefetched"):
+            core.emit("prefetch", "hit", key=key)
+            entry.policy_state["prefetched"] = False
+        return CacheReadOutcome(
+            content=content, hit=True, elapsed_ms=elapsed,
+            disposition=disposition,
+        )
+
+    # -- rare-path helpers ---------------------------------------------------
+
+    def _continue_miss(
+        self,
+        reference: "DocumentReference",
+        key: EntryKey,
+        started_ms: float,
+        *,
+        stale: tuple[bytes, float] | None,
+    ) -> CacheReadOutcome:
+        """Run the post-gate stages after a mid-lane invalidation.
+
+        Matches the staged pipeline exactly: the read keeps its original
+        ``started_ms`` (the hop charge already happened) and carries the
+        invalidated bytes for bounded serve-stale-on-error.  With the
+        lane's eligibility holding (sequential scheduler, no concurrency
+        policy) no stage suspends, so a plain loop is the whole drive.
+        """
+        ctx = ReadContext(
+            reference=reference,
+            key=key,
+            started_ms=started_ms,
+            scheduler=self.core.scheduler,
+            stale=stale,
+        )
+        for stage in self._miss_stages:
+            result = stage.run(ctx)
+            if result is not None:
+                return result
+        raise CacheError(
+            "read pipeline ended without a terminal stage result"
+        )  # pragma: no cover - AdmissionStage always terminates
+
+    def _entry_quarantined(self, entry) -> bool:
+        core = self.core
+        degradation = core.degradation
+        for verifier in entry.verifiers:
+            if degradation.is_quarantined(
+                core.verifier_fault_key(entry, verifier)
+            ):
+                return True
+        return False
+
+    def _note_failure(self, entry, verifier) -> None:
+        core = self.core
+        newly = core.degradation.note_verifier_failure(
+            core.verifier_fault_key(entry, verifier)
+        )
+        if newly:
+            core.emit("quarantine", "added", key=entry.key)
+
+    def _record(self, stage: str, outcome: str, elapsed_ms: float) -> None:
+        """One :class:`StageRecorder` cell update, sans StageEvent."""
+        cells = self.recorder.cells
+        cell = cells.get((stage, outcome))
+        if cell is None:
+            cell = cells[(stage, outcome)] = StageCell()
+        cell.count += 1
+        cell.elapsed_ms += elapsed_ms

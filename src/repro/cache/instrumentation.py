@@ -126,6 +126,17 @@ class InstrumentationBus:
         self._subscribers: tuple[Callable[[StageEvent], None], ...] = ()
 
     @property
+    def subscribers(self) -> tuple[Callable[[StageEvent], None], ...]:
+        """The current immutable subscriber tuple.
+
+        Copy-on-write means the tuple object is *replaced* whenever the
+        subscription set changes, so holding a reference and comparing
+        by identity is an exact (and O(1)) "has anything changed since
+        I looked" test — the fast read lane's eligibility check.
+        """
+        return self._subscribers
+
+    @property
     def has_subscribers(self) -> bool:
         """True when at least one subscriber would receive an emit.
 

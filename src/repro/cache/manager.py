@@ -25,6 +25,7 @@ from repro.cache.core import (  # noqa: F401  (constants re-exported for compat)
     CacheCore,
 )
 from repro.cache.entry import CacheEntry, EntryKey
+from repro.cache.fastpath import FastReadLane
 from repro.cache.instrumentation import (
     ConcurrencyStats,
     ConcurrencyStatsProjection,
@@ -267,6 +268,7 @@ class DocumentCache:
         core: CacheCore | None = None,
         memo: TransformMemo | None = None,
         flights: "FlightTable | None" = None,
+        fast_lane: bool = True,
     ) -> None:
         ctx = kernel.ctx
         if core is not None:
@@ -308,6 +310,12 @@ class DocumentCache:
         # memo/recovery wiring must have set up first.
         self._wire_storage(storage_policy)
         self._schedule_fault_crashes(ctx)
+        # The fast lane wires last: it snapshots the instrumentation
+        # subscriber tuple as its eligibility baseline, so every wiring
+        # step's projections must already be subscribed.
+        self._fast: FastReadLane | None = None
+        if fast_lane:
+            self._fast = FastReadLane(self._core, self._reads, self.recorder)
 
     # -- construction steps ---------------------------------------------------
 
@@ -576,8 +584,17 @@ class DocumentCache:
         Any collection-prefetch requests queued by properties during the
         read are serviced *after* the outcome is computed, so prefetch
         work never inflates the triggering read's latency.
+
+        With the fast lane enabled (the default), a verified hit on a
+        cache with every optional seam disabled is served inline —
+        byte-identical observable behaviour, none of the staged
+        pipeline's per-read interpreter overhead; anything else falls
+        back to the staged path before the first charge.
         """
-        outcome = self._reads.read(reference)
+        if self._fast is not None:
+            outcome = self._fast.read(reference)
+        else:
+            outcome = self._reads.read(reference)
         self._drain_prefetch()
         return outcome
 
@@ -934,7 +951,12 @@ class DocumentCache:
             "notifier", "delivered",
             key=EntryKey(invalidation.document_id, invalidation.user_id),
         )
-        for key in list(core.entries):
+        # An invalidation names its document, so only that document's
+        # bucket can match — the full-table scan was O(entries) per
+        # delivered notifier.  Bucket order is global insertion order
+        # restricted to the document, so drops happen in the same
+        # relative order the scan produced.
+        for key in list(core.entries_for_document(invalidation.document_id)):
             if invalidation.matches_key(key):
                 core.drop(
                     core.entries[key], invalidation.reason,
@@ -953,7 +975,7 @@ class DocumentCache:
             user_id=user_id,
             at_ms=core.ctx.clock.now_ms,
         )
-        for key in list(core.entries):
+        for key in list(core.entries_for_document(document_id)):
             if invalidation.matches_key(key):
                 core.drop(core.entries[key], InvalidationReason.EXPLICIT)
                 dropped += 1

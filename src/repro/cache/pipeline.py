@@ -45,7 +45,6 @@ from repro.cache.memo import ChainFingerprint
 from repro.cache.notifiers import install_minimum_notifiers
 from repro.cache.policies import AdmissionDecision
 from repro.cache.verifiers import Verdict
-from repro.content.signature import sign
 from repro.errors import CacheError, OverloadShedError
 from repro.overload.admission import PRIORITY_NAMES
 from repro.sim.scheduler import (
@@ -91,7 +90,7 @@ class WriteMode(enum.Enum):
     WRITE_BACK = "write-back"
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheReadOutcome:
     """Result of one read through the cache."""
 
@@ -119,7 +118,7 @@ class CacheReadOutcome:
         return len(self.content)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadContext:
     """Mutable state threaded through the read stages for one read."""
 
@@ -170,7 +169,7 @@ class ReadContext:
     budget: "DeadlineBudget | None" = None
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteContext:
     """Mutable state threaded through the write stages for one write."""
 
@@ -403,9 +402,10 @@ class AdoptionStage:
         key = ctx.key
         expected = core.expected_chain_signature(ctx.reference)
         now = core.ctx.clock.now_ms
-        for candidate in list(core.entries.values()):
-            if candidate.document_id != key.document_id:
-                continue
+        # Scan only this document's bucket: adoption candidates are by
+        # definition other users' entries for the *same* document, and a
+        # full-table scan per miss is O(entries) at churn scale.
+        for candidate in list(core.entries_for_document(key.document_id).values()):
             if candidate.user_id == key.user_id:
                 continue
             if candidate.chain_signature != expected:
@@ -437,7 +437,7 @@ class AdoptionStage:
             entry.policy_state["source_signature"] = (
                 candidate.policy_state.get("source_signature")
             )
-            core.entries[key] = entry
+            core.insert_entry(entry)
             core.policy.on_insert(entry)
             core.emit("adoption", "adopted", key=key)
             if core.install_notifiers:
@@ -551,7 +551,7 @@ class MemoStage:
         # matches a stale record.
         assert core.memo_policy is not None
         core.ctx.charge(core.memo_policy.probe_cost_ms)
-        source_signature = sign(ctx.reference.base.provider.peek())
+        source_signature = ctx.reference.base.provider.peek_signature()
         # The probed pair doubles as the memo-plane coalescing key for
         # the single-flight stage downstream.
         ctx.memo_source = source_signature
@@ -665,7 +665,7 @@ class MemoStage:
         )
         entry.pinned = record.pin
         entry.policy_state["source_signature"] = record.source_signature
-        core.entries[key] = entry
+        core.insert_entry(entry)
         core.policy.on_insert(entry)
         if core.install_notifiers:
             installed = install_minimum_notifiers(

@@ -53,7 +53,6 @@ from dataclasses import dataclass, field
 from repro.cache.consistency import InvalidationReason
 from repro.cache.instrumentation import StageEvent
 from repro.cache.verifiers import Verdict
-from repro.content.signature import sign
 from repro.errors import (
     LeaseExpiredError,
     NotificationLostError,
@@ -589,7 +588,7 @@ class ConsistencyRecoveryManager:
         recorded_source = entry.policy_state.get("source_signature")
         if (
             recorded_source is not None
-            and sign(reference.base.provider.peek()) != recorded_source
+            and reference.base.provider.peek_signature() != recorded_source
         ):
             return InvalidationReason.SOURCE_UPDATED_OUT_OF_BAND
         if core.use_verifiers:

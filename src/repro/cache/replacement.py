@@ -17,9 +17,15 @@ paper's two extensions selectable:
 
 Baselines for the A2 ablation: LRU, LFU, FIFO, SIZE (evict largest),
 Greedy-Dual (cost-aware but size-blind) and RANDOM.
+:class:`ReinforcedCounterPolicy` (the A20 shootout's fourth arm) ports
+the cluster placement layer's reinforced counters — capped per-entry
+counters with deterministic epoch decay — into a replacement policy.
 
 All heap-backed policies use lazy deletion: each (re)insertion stamps the
-entry; stale heap items are skipped at pop time.
+entry; stale heap items are skipped at pop time.  Under churn the stale
+items would otherwise accumulate without bound (every insert/remove
+cycle leaves one behind), so the heap compacts itself whenever stale
+items outnumber live ones past a threshold.
 
 Replacement is one of the cache's three pluggable policy seams (with
 admission and degradation); :mod:`repro.cache.policies` re-exports
@@ -46,8 +52,15 @@ __all__ = [
     "FIFOPolicy",
     "SizePolicy",
     "RandomPolicy",
+    "ReinforcedCounterPolicy",
     "make_policy",
 ]
+
+#: Heaps smaller than this never compact — the rebuild would cost more
+#: than the garbage it reclaims.
+_COMPACT_MIN_HEAP = 1024
+#: Compact when stale items exceed this fraction of the heap.
+_COMPACT_STALE_FRACTION = 0.5
 
 
 class ReplacementPolicy(abc.ABC):
@@ -74,20 +87,37 @@ class ReplacementPolicy(abc.ABC):
 
     @abc.abstractmethod
     def select_victim(
-        self, entries: dict[EntryKey, CacheEntry]
+        self,
+        entries: dict[EntryKey, CacheEntry],
+        protect: EntryKey | None = None,
     ) -> EntryKey:
-        """Choose the entry to evict from the live *entries*."""
+        """Choose the entry to evict from the live *entries*.
+
+        *entries* is the cache's full entry table; the policy itself must
+        never return *protect* (the key the caller is mid-refresh on) or
+        a pinned entry.  Passing the full table lets heap policies stay
+        O(log n) per victim instead of forcing the caller to rebuild a
+        filtered candidate dict — the scan that dominated eviction at
+        10^5+ entries.
+        """
 
 
 class _HeapPolicy(ReplacementPolicy):
     """Shared heap-with-lazy-deletion machinery.
 
     Subclasses implement :meth:`priority` — lower evicts first.
+
+    ``_stamps`` mirrors each key's current stamp purely for compaction
+    bookkeeping: ``len(self._heap) - len(self._stamps)`` is the stale
+    item count, and a rebuild keeps exactly the items whose ``(key,
+    stamp)`` pair is current.  The authoritative staleness check at pop
+    time stays ``entry.policy_state[id(self)]``, as before.
     """
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, EntryKey, int]] = []
         self._serials = itertools.count()
+        self._stamps: dict[EntryKey, int] = {}
 
     @abc.abstractmethod
     def priority(self, entry: CacheEntry) -> float:
@@ -96,10 +126,12 @@ class _HeapPolicy(ReplacementPolicy):
     def _push(self, entry: CacheEntry) -> None:
         stamp = entry.policy_state.get(id(self), 0) + 1
         entry.policy_state[id(self)] = stamp
+        self._stamps[entry.key] = stamp
         heapq.heappush(
             self._heap,
             (self.priority(entry), next(self._serials), entry.key, stamp),
         )
+        self._maybe_compact()
 
     def on_insert(self, entry: CacheEntry) -> None:
         self._push(entry)
@@ -107,18 +139,66 @@ class _HeapPolicy(ReplacementPolicy):
     def on_access(self, entry: CacheEntry) -> None:
         self._push(entry)
 
-    def select_victim(self, entries: dict[EntryKey, CacheEntry]) -> EntryKey:
+    def on_remove(self, entry: CacheEntry) -> None:
+        # The entry's current heap item (if any) just went stale; only
+        # the bookkeeping is updated — the item itself is lazily
+        # deleted at pop time or swept by compaction.
+        self._stamps.pop(entry.key, None)
+
+    def select_victim(
+        self,
+        entries: dict[EntryKey, CacheEntry],
+        protect: EntryKey | None = None,
+    ) -> EntryKey:
         while self._heap:
             priority, _, key, stamp = heapq.heappop(self._heap)
             entry = entries.get(key)
             if entry is None or entry.policy_state.get(id(self)) != stamp:
                 continue  # stale heap item
+            if entry.pinned or key == protect:
+                # Live but unevictable right now.  Historically these
+                # keys were filtered out of the candidate dict before
+                # the policy saw them, so their popped heap item was
+                # dropped and the entry stayed orphaned until its next
+                # access re-pushed it; preserving that keeps victim
+                # sequences byte-identical to the pinned goldens.
+                self._stamps.pop(key, None)
+                continue
+            self._stamps.pop(key, None)
             self._on_evict(priority)
             return key
         raise CacheError("no evictable entries")
 
     def _on_evict(self, victim_priority: float) -> None:
         """Hook for policies (GDS) that age on eviction."""
+
+    # -- lazy-deletion garbage control ----------------------------------------
+
+    @property
+    def stale_items(self) -> int:
+        """Heap items whose (key, stamp) is no longer current."""
+        return len(self._heap) - len(self._stamps)
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap when stale items dominate it.
+
+        Under insert/remove churn every cycle strands one stale item, so
+        without this the heap grows without bound even at constant
+        occupancy.  The rebuild keeps only current items; ``heapify`` is
+        O(n) and victim order is unchanged (all heap tuples are totally
+        ordered by their unique serials, so pop order is a function of
+        the surviving set, not of array layout).
+        """
+        heap = self._heap
+        if len(heap) < _COMPACT_MIN_HEAP:
+            return
+        if len(heap) - len(self._stamps) <= _COMPACT_STALE_FRACTION * len(heap):
+            return
+        stamps = self._stamps
+        self._heap = [
+            item for item in heap if stamps.get(item[2]) == item[3]
+        ]
+        heapq.heapify(self._heap)
 
 
 class GreedyDualSizePolicy(_HeapPolicy):
@@ -235,6 +315,59 @@ class SizePolicy(_HeapPolicy):
         pass
 
 
+class ReinforcedCounterPolicy(_HeapPolicy):
+    """Capped reinforcement counters with deterministic epoch decay.
+
+    The replacement-side port of the cluster placement layer's
+    reinforced counters (arXiv:1501.03446's multilevel variant): each
+    access bumps a per-entry counter capped at ``counter_cap``; every
+    ``decay_interval`` accesses (policy-wide) opens a new epoch that
+    halves every counter.  The halving is applied lazily — an entry's
+    effective counter is ``counter >> (epoch - entry_epoch)`` — so decay
+    is O(1) per access rather than a sweep over 10^6 entries.  The heap
+    victim is the minimum effective counter, ties broken by push order
+    (older push evicts first), which approximates
+    least-reinforced-recently under churn.
+    """
+
+    name = "rc"
+
+    def __init__(
+        self,
+        counter_cap: int = 8,
+        decay_interval: int = 256,
+    ) -> None:
+        super().__init__()
+        self.counter_cap = counter_cap
+        self.decay_interval = decay_interval
+        self._epoch = 0
+        self._accesses = 0
+
+    def _counter_of(self, entry: CacheEntry) -> int:
+        counter = entry.policy_state.get((id(self), "counter"), 0)
+        born = entry.policy_state.get((id(self), "epoch"), self._epoch)
+        return counter >> (self._epoch - born)
+
+    def _note_access(self, entry: CacheEntry) -> None:
+        self._accesses += 1
+        if self._accesses % self.decay_interval == 0:
+            self._epoch += 1
+        counter = min(self._counter_of(entry) + 1, self.counter_cap)
+        entry.policy_state[(id(self), "counter")] = counter
+        entry.policy_state[(id(self), "epoch")] = self._epoch
+
+    def priority(self, entry: CacheEntry) -> float:
+        return float(self._counter_of(entry))
+
+    def on_insert(self, entry: CacheEntry) -> None:
+        self._note_access(entry)
+        self._push(entry)
+
+    def on_access(self, entry: CacheEntry) -> None:
+        self._note_access(entry)
+        self._push(entry)
+
+
 class RandomPolicy(ReplacementPolicy):
     """Evict a uniformly random entry (seeded; the zero-information baseline)."""
 
@@ -249,10 +382,23 @@ class RandomPolicy(ReplacementPolicy):
     def on_access(self, entry: CacheEntry) -> None:
         pass
 
-    def select_victim(self, entries: dict[EntryKey, CacheEntry]) -> EntryKey:
-        if not entries:
+    def select_victim(
+        self,
+        entries: dict[EntryKey, CacheEntry],
+        protect: EntryKey | None = None,
+    ) -> EntryKey:
+        # Filter exactly as the caller's historical candidate dict did,
+        # so the sampled population (and RNG draw sequence) is unchanged.
+        keys = sorted(
+            (
+                key
+                for key, entry in entries.items()
+                if key != protect and not entry.pinned
+            ),
+            key=str,  # deterministic order before sampling
+        )
+        if not keys:
             raise CacheError("no evictable entries")
-        keys = sorted(entries, key=str)  # deterministic order before sampling
         return keys[self._rng.randrange(len(keys))]
 
 
@@ -268,6 +414,7 @@ def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
         "fifo": FIFOPolicy,
         "size": SizePolicy,
         "random": lambda: RandomPolicy(seed),
+        "rc": ReinforcedCounterPolicy,
     }
     try:
         return factories[name]()

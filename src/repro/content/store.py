@@ -44,6 +44,10 @@ class ContentStore:
 
     def __init__(self) -> None:
         self._by_signature: dict[ContentSignature, StoredContent] = {}
+        # Maintained incrementally: at 10^6 entries the naive sum() over
+        # every stored blob turns each capacity check into a full scan.
+        self._physical_bytes = 0
+        self._logical_bytes = 0
 
     def put(self, content: bytes) -> ContentSignature:
         """Store *content* (or bump its refcount) and return its signature."""
@@ -52,7 +56,9 @@ class ContentStore:
         if stored is None:
             stored = StoredContent(signature=signature, content=bytes(content))
             self._by_signature[signature] = stored
+            self._physical_bytes += stored.size
         stored.refcount += 1
+        self._logical_bytes += stored.size
         return signature
 
     def put_signed(
@@ -74,12 +80,16 @@ class ContentStore:
         if stored is None:
             stored = StoredContent(signature=signature, content=bytes(content))
             self._by_signature[signature] = stored
+            self._physical_bytes += stored.size
         stored.refcount += 1
+        self._logical_bytes += stored.size
         return signature
 
     def adopt(self, signature: ContentSignature) -> None:
         """Add a reference to already-stored content (signature-only hit)."""
-        self._entry(signature).refcount += 1
+        stored = self._entry(signature)
+        stored.refcount += 1
+        self._logical_bytes += stored.size
 
     def get(self, signature: ContentSignature) -> bytes:
         """Bytes for *signature*; raises if not present."""
@@ -98,8 +108,10 @@ class ContentStore:
         """Drop one reference; content is evicted at refcount zero."""
         stored = self._entry(signature)
         stored.refcount -= 1
+        self._logical_bytes -= stored.size
         if stored.refcount <= 0:
             del self._by_signature[signature]
+            self._physical_bytes -= stored.size
 
     def __contains__(self, signature: ContentSignature) -> bool:
         return signature in self._by_signature
@@ -110,12 +122,12 @@ class ContentStore:
     @property
     def physical_bytes(self) -> int:
         """Bytes actually held (one copy per distinct signature)."""
-        return sum(s.size for s in self._by_signature.values())
+        return self._physical_bytes
 
     @property
     def logical_bytes(self) -> int:
         """Bytes a non-deduplicating store would hold (refcount-weighted)."""
-        return sum(s.size * s.refcount for s in self._by_signature.values())
+        return self._logical_bytes
 
     def _entry(self, signature: ContentSignature) -> StoredContent:
         try:

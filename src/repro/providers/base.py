@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.cache.cacheability import Cacheability
 from repro.cache.verifiers import Verifier
+from repro.content.signature import ContentSignature, sign
 from repro.sim.context import SimContext
 from repro.streams.base import BytesInputStream, InputStream
 
@@ -61,6 +62,8 @@ class BitProvider(abc.ABC):
         self.ctx = ctx
         self.fetch_count = 0
         self.store_count = 0
+        #: Identity-keyed single-slot memo for :meth:`peek_signature`.
+        self._signature_memo: "tuple[bytes, ContentSignature] | None" = None
         #: Callbacks invoked after each in-band store, used by the kernel
         #: to snoop content updates (§3 consistency class 1, in-band).
         self._update_listeners: list[Callable[[bytes], None]] = []
@@ -98,6 +101,25 @@ class BitProvider(abc.ABC):
         accounted via the verifier's own ``cost_ms``.
         """
         return self._retrieve()
+
+    def peek_signature(self) -> "ContentSignature":
+        """Signature of the current content, without charging latency.
+
+        Staleness probes (write-back ``is_stale``, the transform memo's
+        source check) call this once per read; re-hashing an unchanged
+        blob each time dominates the probe cost at churn-workload rates.
+        Every concrete provider returns the *same bytes object* until the
+        repository content is replaced, so a single-slot memo keyed on
+        the object's identity is exact: mutation swaps in a new bytes
+        object and misses the memo.
+        """
+        content = self._retrieve()
+        memo = self._signature_memo
+        if memo is not None and memo[0] is content:
+            return memo[1]
+        signature = sign(content)
+        self._signature_memo = (content, signature)
+        return signature
 
     # -- content storage ---------------------------------------------------
 

@@ -540,7 +540,7 @@ class L2Tier:
         )
         entry.pinned = record.pinned
         entry.policy_state["source_signature"] = record.source_signature
-        core.entries[key] = entry
+        core.insert_entry(entry)
         core.policy.on_insert(entry)
         if core.install_notifiers:
             installed = install_minimum_notifiers(

@@ -9,6 +9,15 @@ invalidation classes, and multi-user populations with personalized
 property assignments.
 """
 
+from repro.workload.churn import (
+    ChurnCatalog,
+    ChurnEvent,
+    ChurnEventKind,
+    ChurnSpec,
+    ZipfSampler,
+    generate_churn,
+    universal_documents,
+)
 from repro.workload.documents import (
     CorpusDocument,
     CorpusSpec,
@@ -29,6 +38,13 @@ from repro.workload.runner import RunnerReport, TraceRunner
 from repro.workload.users import Population, build_population
 
 __all__ = [
+    "ChurnCatalog",
+    "ChurnEvent",
+    "ChurnEventKind",
+    "ChurnSpec",
+    "ZipfSampler",
+    "generate_churn",
+    "universal_documents",
     "generate_text",
     "CorpusDocument",
     "CorpusSpec",

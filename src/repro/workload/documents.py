@@ -21,8 +21,6 @@ from repro.errors import WorkloadError
 from repro.placeless.kernel import PlacelessKernel
 from repro.placeless.reference import DocumentReference
 from repro.providers.base import BitProvider
-from repro.providers.filesystem import FileSystemProvider
-from repro.providers.simfs import SimulatedFileSystem
 from repro.providers.web import WebOrigin, WebProvider
 from repro.ids import UserId
 
@@ -159,43 +157,9 @@ def build_corpus(
     create other users' references afterwards (see
     :func:`repro.workload.users.build_population`).
     """
-    spec = spec or CorpusSpec()
-    rng = random.Random(spec.seed)
-    weights = [w for _, w in spec.repository_mix]
-    names = [n for n, _ in spec.repository_mix]
-    if abs(sum(weights) - 1.0) > 1e-9:
-        raise WorkloadError("repository_mix probabilities must sum to 1")
+    # Delegates to the lazy churn catalog, materialized in index order —
+    # byte-identical output (a pinned-digest test holds the builders
+    # together), one implementation of the draw order.
+    from repro.workload.churn import ChurnCatalog
 
-    filesystem = SimulatedFileSystem(kernel.ctx.clock)
-    origins = {
-        "parcweb": WebOrigin(kernel.ctx.clock, host="parcweb"),
-        "www": WebOrigin(kernel.ctx.clock, host="www"),
-    }
-    documents: list[CorpusDocument] = []
-    for index in range(spec.n_documents):
-        size = int(rng.lognormvariate(spec.size_mu, spec.size_sigma))
-        size = max(spec.min_size, min(spec.max_size, size))
-        content = generate_text(size, seed=spec.seed * 100_003 + index)
-        repository = rng.choices(names, weights)[0]
-        label = f"doc-{index:04d}"
-        provider: BitProvider
-        if repository == "nfs":
-            path = f"/corpus/{label}.txt"
-            filesystem.write(path, content)
-            provider = FileSystemProvider(kernel.ctx, filesystem, path)
-        else:
-            origin = origins[repository]
-            url = f"/{label}.html"
-            origin.publish(url, content, ttl_ms=spec.ttl_ms)
-            provider = WebProvider(kernel.ctx, origin, url)
-        reference = kernel.import_document(owner, provider, label)
-        documents.append(
-            CorpusDocument(
-                reference=reference,
-                provider=provider,
-                repository=repository,
-                size_bytes=size,
-                label=label,
-            )
-        )
-    return documents
+    return ChurnCatalog(kernel, owner, spec).materialize_all()

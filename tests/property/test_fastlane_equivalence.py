@@ -1,0 +1,85 @@
+"""Fast-lane equivalence: lane on vs. off must be indistinguishable.
+
+The zero-allocation fast lane (:mod:`repro.cache.fastpath`) shortcuts
+the staged pipeline for eligible hit reads.  These tests hold it to the
+same bar the pipeline refactor was held to: byte-identical golden
+digests — same stats, same virtual clock, same recorder cells — with
+the lane enabled and disabled, across every golden configuration
+(including the chaos one, where the lane must decline eligibility
+rather than misbehave).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.manager import DocumentCache
+from repro.placeless.kernel import PlacelessKernel
+from repro.workload.documents import CorpusSpec, build_corpus
+
+from tests.property.test_pipeline_equivalence import (
+    _CONFIGS,
+    GOLDEN_DIGESTS,
+    digest,
+    run_seeded_workload,
+)
+
+
+class TestLaneOffGoldens:
+    """With the lane disabled, every golden digest still holds."""
+
+    def test_all_configs_match_goldens_without_lane(self):
+        for name, config in _CONFIGS.items():
+            snap = run_seeded_workload(fast_lane=False, **config)
+            assert digest(snap) == GOLDEN_DIGESTS[name], name
+
+
+class TestLaneOnOffIdentical:
+    """Arbitrary seeds: lane on and lane off → identical snapshots."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_snapshots_identical(self, seed):
+        with_lane = run_seeded_workload(seed, fast_lane=True)
+        without_lane = run_seeded_workload(seed, fast_lane=False)
+        assert with_lane == without_lane
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_chaos_snapshots_identical(self, seed):
+        with_lane = run_seeded_workload(seed, chaos=True, fast_lane=True)
+        without_lane = run_seeded_workload(seed, chaos=True, fast_lane=False)
+        assert with_lane == without_lane
+
+
+class TestLaneEligibility:
+    """The lane engages exactly when the optional seams are off."""
+
+    def test_plain_cache_takes_the_lane(self):
+        kernel = PlacelessKernel()
+        owner = kernel.create_user("owner")
+        corpus = build_corpus(
+            kernel, owner, CorpusSpec(n_documents=3, seed=5)
+        )
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        lane = cache._fast
+        assert lane is not None
+        assert lane._eligible(lane.core)
+        first = cache.read(corpus[0].reference)
+        again = cache.read(corpus[0].reference)
+        assert not first.hit and again.hit
+
+    def test_chaos_context_declines_the_lane(self):
+        from repro.faults.plan import FaultPlan
+
+        kernel = PlacelessKernel()
+        kernel.ctx.faults = FaultPlan(kernel.ctx.clock, seed=3)
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20)
+        lane = cache._fast
+        assert lane is not None and not lane._eligible(lane.core)
+
+    def test_constructor_flag_disables_the_lane(self):
+        kernel = PlacelessKernel()
+        cache = DocumentCache(kernel, capacity_bytes=1 << 20, fast_lane=False)
+        assert cache._fast is None

@@ -41,6 +41,7 @@ def run_seeded_workload(
     capacity_factor: float = 2.0,
     chaos: bool = False,
     overload_policy=None,
+    fast_lane: bool = True,
 ) -> dict:
     """One deterministic deployment + trace; returns a comparable snapshot.
 
@@ -88,6 +89,7 @@ def run_seeded_workload(
         verifier_quarantine_threshold=4 if chaos else None,
         overload_policy=overload_policy,
         name=f"equiv-{seed}",
+        fast_lane=fast_lane,
     )
     runner = TraceRunner(
         kernel, corpus, population.references, caches=cache,

@@ -20,7 +20,7 @@ from repro.providers.memory import MemoryProvider
 
 policy_names = st.sampled_from(
     ["gds", "gdsf", "gds-costblind", "gd", "lru", "lfu", "fifo", "size",
-     "random"]
+     "random", "rc"]
 )
 
 

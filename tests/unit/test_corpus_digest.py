@@ -1,0 +1,74 @@
+"""Corpus byte-identity: lazy catalog vs. the historical eager builder.
+
+``build_corpus`` now delegates to :class:`ChurnCatalog` and
+materializes through it.  The digests below were captured from the
+pre-delegation eager builder; matching them proves the lazy path mints
+the same labels, repositories, sizes, content bytes and document ids
+in the same order — i.e. every downstream seeded experiment is
+unaffected by the rewrite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.placeless.kernel import PlacelessKernel
+from repro.workload.churn import ChurnCatalog
+from repro.workload.documents import CorpusSpec, build_corpus
+
+#: sha256[:16] of the 40-document corpus under the eager builder,
+#: captured before build_corpus started delegating to ChurnCatalog.
+EAGER_BUILDER_DIGESTS = {
+    42: "9d56d9d3cb272049",
+    7: "8cc471086aa9d06a",
+    99: "ef1ded89bf9c58ac",
+}
+
+
+def corpus_digest(corpus) -> str:
+    hasher = hashlib.sha256()
+    for document in corpus:
+        hasher.update(
+            f"{document.label}|{document.repository}|"
+            f"{document.size_bytes}|".encode()
+        )
+        hasher.update(
+            hashlib.sha256(document.provider.peek()).hexdigest().encode()
+        )
+        hasher.update(str(document.reference.base.document_id).encode())
+    return hasher.hexdigest()[:16]
+
+
+@pytest.mark.parametrize("seed", sorted(EAGER_BUILDER_DIGESTS))
+def test_build_corpus_matches_eager_goldens(seed):
+    kernel = PlacelessKernel()
+    owner = kernel.create_user("owner")
+    corpus = build_corpus(
+        kernel, owner, CorpusSpec(n_documents=40, seed=seed)
+    )
+    assert corpus_digest(corpus) == EAGER_BUILDER_DIGESTS[seed]
+
+
+def test_out_of_order_materialization_is_byte_identical():
+    """Touching documents in a scrambled order must not change them."""
+    spec = CorpusSpec(n_documents=40, seed=42)
+
+    kernel_a = PlacelessKernel()
+    catalog_a = ChurnCatalog(kernel_a, kernel_a.create_user("owner"), spec)
+    in_order = catalog_a.materialize_all()
+
+    kernel_b = PlacelessKernel()
+    catalog_b = ChurnCatalog(kernel_b, kernel_b.create_user("owner"), spec)
+    scrambled = list(range(40))
+    scrambled.reverse()
+    for index in scrambled:
+        catalog_b.document(index)
+    out_of_order = catalog_b.materialize_all()
+
+    for left, right in zip(in_order, out_of_order):
+        assert left.label == right.label
+        assert left.repository == right.repository
+        assert left.size_bytes == right.size_bytes
+        assert left.provider.peek() == right.provider.peek()

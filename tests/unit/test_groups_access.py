@@ -248,6 +248,7 @@ class TestCLIRouting:
             "a14", "containment", "a15", "memo",
             "a16", "stampede", "a17", "cluster",
             "a18", "persistence", "a19", "overload",
+            "a20", "scale",
         }
         for module_name in _EXPERIMENT_MODULES.values():
             module = importlib.import_module(module_name)
